@@ -1,0 +1,133 @@
+// Command dwarfbench runs one Extended OpenDwarfs benchmark on one device,
+// the way the paper invokes each application (§4.4.5):
+//
+//	dwarfbench -b kmeans -size tiny -p 0 -d 0 -t 0
+//	dwarfbench -b srad -size large -device gtx1080 -csv out.csv
+//
+// Device selection supports both the paper's platform/device/type triplet
+// (-p/-d/-t) and direct catalogue IDs (-device). The tool prints the Table 3
+// argument string it reproduces, the measured statistics, and optionally the
+// raw LibSciBench-style samples as CSV or JSONL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/report"
+	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/suite"
+)
+
+func main() {
+	var (
+		benchName = flag.String("b", "", "benchmark name (kmeans, lud, csr, fft, dwt, srad, crc, nw, gem, nqueens, hmm)")
+		size      = flag.String("size", "tiny", "problem size: tiny, small, medium, large")
+		deviceID  = flag.String("device", "", "device catalogue ID (e.g. i7-6700k); overrides -p/-d/-t")
+		platform  = flag.Int("p", 0, "platform index (paper notation)")
+		device    = flag.Int("d", 0, "device index within platform")
+		devType   = flag.Int("t", 0, "device type: 0=CPU, 1=GPU, 2=accelerator")
+		samples   = flag.Int("samples", scibench.PaperSampleSize(), "samples per group (paper: 50)")
+		csvPath   = flag.String("csv", "", "write raw samples as CSV")
+		jsonlPath = flag.String("jsonl", "", "write raw samples as JSONL")
+		list      = flag.Bool("list", false, "list benchmarks and devices, then exit")
+		aiwcFlag  = flag.Bool("aiwc", false, "print AIWC kernel characterisation (§7)")
+	)
+	flag.Parse()
+
+	reg := suite.New()
+	if *list {
+		fmt.Println("Benchmarks (Table 2 order):")
+		for _, b := range reg.All() {
+			fmt.Printf("  %-8s %-28s sizes %v\n", b.Name(), b.Dwarf(), b.Sizes())
+		}
+		fmt.Println("\nDevices (Table 1 order):")
+		for _, d := range opencl.AllDevices() {
+			fmt.Printf("  %-12s %-18s %s\n", d.ID(), d.Name(), d.Spec.Class)
+		}
+		return
+	}
+	if *benchName == "" {
+		fatal(fmt.Errorf("missing -b; use -list to see benchmarks"))
+	}
+	b, err := reg.Get(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var dev *opencl.Device
+	if *deviceID != "" {
+		dev, err = opencl.LookupDevice(*deviceID)
+	} else {
+		dev, err = opencl.Select(*platform, *device, opencl.DeviceType(*devType))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := harness.DefaultOptions()
+	opt.Samples = *samples
+	fmt.Printf("Benchmark : %s (%s dwarf)\n", b.Name(), b.Dwarf())
+	fmt.Printf("Arguments : %s %s\n", b.Name(), b.ArgString(*size))
+	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
+
+	m, err := harness.Run(b, *size, dev, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "timing model"
+	if m.Verified {
+		mode = "functional, verified against serial reference"
+	} else if m.Functional {
+		mode = "functional"
+	}
+	fmt.Printf("Mode      : %s\n", mode)
+	fmt.Printf("Footprint : %.1f KiB device-side (Eq. 1 accounting verified)\n", float64(m.FootprintBytes)/1024)
+	fmt.Printf("Loop      : %d iterations per sample (≥2 s rule), %d kernel launches/iteration\n", m.Iterations, m.KernelLaunches)
+	fmt.Printf("Kernel    : median %.4f ms  mean %.4f ms  CV %.3f  CI95 [%.4f, %.4f] ms\n",
+		m.Kernel.Median/1e6, m.Kernel.Mean/1e6, m.Kernel.CV, m.Kernel.CI95Lo/1e6, m.Kernel.CI95Hi/1e6)
+	fmt.Printf("Transfer  : median %.4f ms per iteration\n", m.Transfer.Median/1e6)
+	fmt.Printf("Energy    : median %.4f J per iteration via %s\n", m.Energy.Median, m.MeterScope)
+	fmt.Printf("Counters  : %s\n", m.Counters)
+
+	if *aiwcFlag {
+		fmt.Println()
+		g := &harness.Grid{Measurements: []*harness.Measurement{m}}
+		report.AIWCTable(os.Stdout, g)
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(f *os.File) error {
+			return scibench.WriteCSV(f, m.Records())
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Samples   : CSV written to %s\n", *csvPath)
+	}
+	if *jsonlPath != "" {
+		if err := writeFile(*jsonlPath, func(f *os.File) error {
+			return scibench.WriteJSONL(f, m.Records())
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Samples   : JSONL written to %s\n", *jsonlPath)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwarfbench:", err)
+	os.Exit(1)
+}

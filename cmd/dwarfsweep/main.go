@@ -1,0 +1,151 @@
+// Command dwarfsweep measures a slice of the benchmark × size × device grid
+// and emits the per-cell statistics, reproducing the paper's full-suite
+// sweeps. By default it covers every benchmark, size and device; flags
+// narrow each axis.
+//
+//	dwarfsweep -benchmarks crc,srad -sizes tiny,large -csv sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/report"
+	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/suite"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark names (default: all)")
+		sizes      = flag.String("sizes", "", "comma-separated sizes (default: all supported)")
+		devices    = flag.String("devices", "", "comma-separated device IDs (default: all 15)")
+		samples    = flag.Int("samples", scibench.PaperSampleSize(), "samples per group")
+		budget     = flag.Float64("funcops", harness.DefaultOptions().MaxFunctionalOps, "functional execution budget in operations (0 = timing model only)")
+		csvPath    = flag.String("csv", "", "write per-cell figure series CSV")
+		boxes      = flag.Bool("boxes", false, "render ASCII box plots per benchmark × size")
+		compare    = flag.String("compare", "", "two device IDs 'a,b': Welch t-test per benchmark × size")
+	)
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Samples = *samples
+	opt.MaxFunctionalOps = *budget
+	if *budget == 0 {
+		opt.Verify = false
+	}
+	spec := harness.GridSpec{
+		Benchmarks: split(*benchmarks),
+		Sizes:      split(*sizes),
+		Devices:    split(*devices),
+		Options:    opt,
+		Progress:   os.Stdout,
+	}
+	reg := suite.New()
+	grid, err := harness.RunGrid(reg, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d grid cells measured\n", len(grid.Measurements))
+
+	if *boxes {
+		seen := map[string]bool{}
+		for _, m := range grid.Measurements {
+			key := m.Benchmark + "/" + m.Size
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			report.FigureBoxes(os.Stdout, grid, m.Benchmark, m.Size, 60)
+		}
+	}
+
+	if *compare != "" {
+		pair := split(*compare)
+		if len(pair) != 2 {
+			fmt.Fprintln(os.Stderr, "dwarfsweep: -compare wants exactly two device IDs")
+			os.Exit(1)
+		}
+		compareDevices(grid, pair[0], pair[1])
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		seen := map[string]bool{}
+		first := true
+		for _, m := range grid.Measurements {
+			if seen[m.Benchmark] {
+				continue
+			}
+			seen[m.Benchmark] = true
+			if !first {
+				// FigureCSV writes its own header; only keep the first.
+				var sb strings.Builder
+				report.FigureCSV(&sb, grid, m.Benchmark)
+				body := strings.SplitN(sb.String(), "\n", 2)
+				if len(body) == 2 {
+					fmt.Fprint(f, body[1])
+				}
+				continue
+			}
+			report.FigureCSV(f, grid, m.Benchmark)
+			first = false
+		}
+		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+}
+
+// compareDevices runs Welch's t-test between two devices on every
+// benchmark × size both measured — the statistically sound "is A faster
+// than B here?" answer the paper's 50-sample methodology enables (§4.3).
+func compareDevices(grid *harness.Grid, a, b string) {
+	fmt.Printf("\nWelch t-test: %s vs %s (kernel time samples)\n", a, b)
+	fmt.Printf("%-9s %-8s %12s %12s %9s %7s  %s\n", "benchmark", "size", a+" (ms)", b+" (ms)", "t", "p", "verdict")
+	seen := map[string]bool{}
+	for _, m := range grid.Measurements {
+		key := m.Benchmark + "/" + m.Size
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ma := grid.Find(m.Benchmark, m.Size, a)
+		mb := grid.Find(m.Benchmark, m.Size, b)
+		if ma == nil || mb == nil {
+			continue
+		}
+		tstat, _, p := scibench.WelchTTest(ma.KernelNs, mb.KernelNs)
+		verdict := "no significant difference"
+		if p < 0.05 {
+			if tstat < 0 {
+				verdict = a + " faster"
+			} else {
+				verdict = b + " faster"
+			}
+		}
+		fmt.Printf("%-9s %-8s %12.4f %12.4f %9.2f %7.4f  %s\n",
+			m.Benchmark, m.Size, ma.Kernel.Median/1e6, mb.Kernel.Median/1e6, tstat, p, verdict)
+	}
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Portability: the paper's §7 goal of a "notion of 'ideal' performance for
+// each combination of benchmark and device, which would guide efforts to
+// improve performance portability", made concrete: roofline attainment per
+// kernel per device and the Pennycook harmonic-mean performance-portability
+// score across the whole Table 1 catalogue.
+//
+//	go run ./examples/portability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/report"
+	"opendwarfs/internal/suite"
+)
+
+func main() {
+	opt := harness.DefaultOptions()
+	opt.Samples = 8
+	opt.MaxFunctionalOps = 0 // characterisation pass only
+	opt.Verify = false
+
+	// One size per benchmark keeps this quick; profiles are what matter.
+	grid, err := harness.RunGrid(suite.New(), harness.GridSpec{
+		Sizes:   []string{"small", "tiny"}, // tiny covers nqueens
+		Options: opt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := report.RooflineTable(os.Stdout, grid); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: PP near 1 means every device runs the kernel at")
+	fmt.Println("its own roofline (portable); a low PP pinpoints the kernels where a")
+	fmt.Println("device-specific limitation (launch overhead, divergence, the KNL's")
+	fmt.Println("vector stack) leaves ideal performance on the floor — the paper's")
+	fmt.Println("guide for where performance-portability work should go.")
+}

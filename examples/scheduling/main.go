@@ -1,0 +1,71 @@
+// Scheduling: the paper's stated motivation (§7) — "discover methods for
+// choosing the best device for a particular computational task, for example
+// to support scheduling decisions under time and/or energy constraints."
+//
+// This example measures a benchmark slate across all 15 devices and then
+// answers three scheduling questions per benchmark: fastest device, most
+// energy-frugal device, and most energy-frugal device under a time budget.
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"opendwarfs"
+)
+
+func main() {
+	opt := opendwarfs.DefaultOptions()
+	opt.Samples = 20
+	opt.MaxFunctionalOps = 0 // whole-catalogue sweep: timing model
+	opt.Verify = false
+
+	benches := []string{"kmeans", "srad", "crc", "nw", "fft"}
+	grid, err := opendwarfs.RunGrid(opendwarfs.GridSpec{
+		Benchmarks: benches,
+		Sizes:      []string{"large"},
+		Options:    opt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Device selection under constraints (paper §7), large problem size")
+	fmt.Println()
+	for _, bench := range benches {
+		ms := grid.ByBenchmark(bench)
+		var fastest, frugal, frugalInBudget *opendwarfs.Result
+		// Time budget: 2x the fastest median.
+		best := math.Inf(1)
+		for _, m := range ms {
+			if m.Kernel.Median < best {
+				best = m.Kernel.Median
+			}
+		}
+		budget := 2 * best
+		for _, m := range ms {
+			if fastest == nil || m.Kernel.Median < fastest.Kernel.Median {
+				fastest = m
+			}
+			if frugal == nil || m.Energy.Median < frugal.Energy.Median {
+				frugal = m
+			}
+			if m.Kernel.Median <= budget &&
+				(frugalInBudget == nil || m.Energy.Median < frugalInBudget.Energy.Median) {
+				frugalInBudget = m
+			}
+		}
+		fmt.Printf("%-7s fastest: %-12s %8.3f ms | frugal: %-12s %7.4f J | frugal within 2x-time budget: %-12s\n",
+			bench,
+			fastest.Device.ID, fastest.Kernel.Median/1e6,
+			frugal.Device.ID, frugal.Energy.Median,
+			frugalInBudget.Device.ID)
+	}
+
+	fmt.Println()
+	fmt.Println("Note how crc schedules onto a CPU while the bandwidth-bound dwarfs")
+	fmt.Println("pick modern GPUs — the per-dwarf affinities of §5.")
+}

@@ -1,0 +1,195 @@
+// Package aiwc implements Architecture-Independent Workload
+// Characterisation, the analysis the paper's future work (§7) applies to
+// every OpenCL kernel to explain why runtime characteristics vary between
+// devices. Two layers are provided: static characterisation derived from a
+// kernel's workload profile (opcode mix, arithmetic intensity, parallelism),
+// and trace-based metrics (memory entropy, unique addresses, branch
+// entropy) computed from instrumented access/branch streams.
+package aiwc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"opendwarfs/internal/sim"
+)
+
+// Metrics is the AIWC feature vector of one kernel launch.
+type Metrics struct {
+	Kernel string
+
+	// Opcode mix: fractions of total operations.
+	FlopFraction   float64
+	IntFraction    float64
+	LoadFraction   float64
+	StoreFraction  float64
+	BranchFraction float64
+
+	// TotalOps is the absolute operation count of the launch.
+	TotalOps float64
+	// ArithmeticIntensity is flops per byte of pre-cache traffic.
+	ArithmeticIntensity float64
+	// Parallelism is the available work-item count.
+	Parallelism int64
+	// GranularityOps is operations per work-item (work depth proxy).
+	GranularityOps float64
+	// BranchDivergence mirrors the profile's divergence estimate.
+	BranchDivergence float64
+	// FootprintBytes is the device-side working set.
+	FootprintBytes int64
+}
+
+// Characterize derives the static AIWC metrics from a workload profile.
+func Characterize(p *sim.KernelProfile) Metrics {
+	items := float64(p.WorkItems)
+	flops := items * p.FlopsPerItem
+	ints := items * p.IntOpsPerItem
+	loads := items * p.LoadBytesPerItem / 4
+	stores := items * p.StoreBytesPerItem / 4
+	branches := items * p.BranchesPerItem
+	total := flops + ints + loads + stores + branches
+	m := Metrics{
+		Kernel:              p.Name,
+		TotalOps:            total,
+		ArithmeticIntensity: p.ArithmeticIntensity(),
+		Parallelism:         p.WorkItems,
+		BranchDivergence:    p.Divergence,
+		FootprintBytes:      p.WorkingSetBytes,
+	}
+	if items > 0 {
+		m.GranularityOps = total / items
+	}
+	if total > 0 {
+		m.FlopFraction = flops / total
+		m.IntFraction = ints / total
+		m.LoadFraction = loads / total
+		m.StoreFraction = stores / total
+		m.BranchFraction = branches / total
+	}
+	return m
+}
+
+// String renders the feature vector compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: ops=%.3g ai=%.3f par=%d gran=%.1f mix[f=%.2f i=%.2f ld=%.2f st=%.2f br=%.2f] div=%.2f ws=%dB",
+		m.Kernel, m.TotalOps, m.ArithmeticIntensity, m.Parallelism, m.GranularityOps,
+		m.FlopFraction, m.IntFraction, m.LoadFraction, m.StoreFraction, m.BranchFraction,
+		m.BranchDivergence, m.FootprintBytes)
+}
+
+// MemoryEntropy is AIWC's measure of access-pattern randomness: the Shannon
+// entropy (bits) of the cache-line-granular address distribution. Streaming
+// kernels score near log2(distinct lines) with a uniform single-visit
+// distribution; pointer-chasing kernels score lower per unique line visited.
+func MemoryEntropy(addrs []uint64) float64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	counts := map[uint64]int{}
+	for _, a := range addrs {
+		counts[a>>6]++ // 64-byte line granularity
+	}
+	h := 0.0
+	n := float64(len(addrs))
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// UniqueLines counts distinct 64-byte lines in a trace.
+func UniqueLines(addrs []uint64) int {
+	lines := map[uint64]bool{}
+	for _, a := range addrs {
+		lines[a>>6] = true
+	}
+	return len(lines)
+}
+
+// LocalitySlope characterises spatial locality: the fraction of consecutive
+// accesses that stay within a cache line or step to the adjacent line.
+// Sequential scans approach 1; random traffic approaches 0.
+func LocalitySlope(addrs []uint64) float64 {
+	if len(addrs) < 2 {
+		return 1
+	}
+	near := 0
+	for i := 1; i < len(addrs); i++ {
+		prev, cur := addrs[i-1]>>6, addrs[i]>>6
+		d := int64(cur) - int64(prev)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 1 {
+			near++
+		}
+	}
+	return float64(near) / float64(len(addrs)-1)
+}
+
+// BranchEntropy is the Shannon entropy of the taken/not-taken stream —
+// AIWC's control-flow predictability measure. A constant branch scores 0; a
+// fair coin scores 1.
+func BranchEntropy(taken []bool) float64 {
+	if len(taken) == 0 {
+		return 0
+	}
+	t := 0
+	for _, b := range taken {
+		if b {
+			t++
+		}
+	}
+	p := float64(t) / float64(len(taken))
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Distance computes the Euclidean distance between two feature vectors over
+// the normalised mix + intensity dimensions — the similarity measure used
+// to argue diversity of a benchmark suite (§2's coverage goal).
+func Distance(a, b Metrics) float64 {
+	ds := []float64{
+		a.FlopFraction - b.FlopFraction,
+		a.IntFraction - b.IntFraction,
+		a.LoadFraction - b.LoadFraction,
+		a.StoreFraction - b.StoreFraction,
+		a.BranchFraction - b.BranchFraction,
+		squash(a.ArithmeticIntensity) - squash(b.ArithmeticIntensity),
+		a.BranchDivergence - b.BranchDivergence,
+		squash(float64(a.GranularityOps)/1e3) - squash(float64(b.GranularityOps)/1e3),
+	}
+	s := 0.0
+	for _, d := range ds {
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func squash(x float64) float64 { return x / (1 + math.Abs(x)) }
+
+// MostSimilarPair returns the two most similar kernels in a set — the
+// diversity-analysis primitive (a suite wants this distance to be large).
+func MostSimilarPair(ms []Metrics) (a, b Metrics, d float64) {
+	if len(ms) < 2 {
+		return Metrics{}, Metrics{}, math.NaN()
+	}
+	d = math.Inf(1)
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			if dd := Distance(ms[i], ms[j]); dd < d {
+				a, b, d = ms[i], ms[j], dd
+			}
+		}
+	}
+	return a, b, d
+}
+
+// SortByName orders metrics for stable reports.
+func SortByName(ms []Metrics) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Kernel < ms[j].Kernel })
+}

@@ -1,0 +1,153 @@
+package aiwc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/cache"
+	"opendwarfs/internal/sim"
+)
+
+func sampleProfile() *sim.KernelProfile {
+	return &sim.KernelProfile{
+		Name: "k", WorkItems: 1000,
+		FlopsPerItem: 10, IntOpsPerItem: 5,
+		LoadBytesPerItem: 40, StoreBytesPerItem: 8,
+		BranchesPerItem: 3, Divergence: 0.2,
+		WorkingSetBytes: 1 << 20, Pattern: cache.Streaming, Vectorizable: true,
+	}
+}
+
+func TestCharacterizeMixSumsToOne(t *testing.T) {
+	m := Characterize(sampleProfile())
+	sum := m.FlopFraction + m.IntFraction + m.LoadFraction + m.StoreFraction + m.BranchFraction
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("opcode mix sums to %f", sum)
+	}
+	if m.Parallelism != 1000 {
+		t.Fatal("parallelism wrong")
+	}
+	if m.GranularityOps <= 0 || m.TotalOps <= 0 {
+		t.Fatal("granularity/total missing")
+	}
+	if !strings.Contains(m.String(), "ai=") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestMemoryEntropy(t *testing.T) {
+	// Constant line: zero entropy.
+	same := make([]uint64, 100)
+	if h := MemoryEntropy(same); h != 0 {
+		t.Fatalf("constant trace entropy %f", h)
+	}
+	// 256 distinct lines visited uniformly: log2(256) = 8 bits.
+	var uniform []uint64
+	for i := 0; i < 256; i++ {
+		for r := 0; r < 4; r++ {
+			uniform = append(uniform, uint64(i*64))
+		}
+	}
+	if h := MemoryEntropy(uniform); math.Abs(h-8) > 1e-9 {
+		t.Fatalf("uniform 256-line entropy %f, want 8", h)
+	}
+	// Skewed distribution scores below uniform.
+	skew := append(append([]uint64{}, uniform...), make([]uint64, 1000)...)
+	if MemoryEntropy(skew) >= 8 {
+		t.Fatal("skewed trace should have lower entropy")
+	}
+	if MemoryEntropy(nil) != 0 {
+		t.Fatal("empty trace entropy")
+	}
+}
+
+func TestUniqueLinesAndLocality(t *testing.T) {
+	seq := make([]uint64, 1024)
+	for i := range seq {
+		seq[i] = uint64(i * 4) // sequential floats
+	}
+	if got := UniqueLines(seq); got != 64 {
+		t.Fatalf("unique lines %d, want 64", got)
+	}
+	if l := LocalitySlope(seq); l != 1 {
+		t.Fatalf("sequential locality %f, want 1", l)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rnd := make([]uint64, 1024)
+	for i := range rnd {
+		rnd[i] = uint64(rng.Intn(1 << 26))
+	}
+	if l := LocalitySlope(rnd); l > 0.1 {
+		t.Fatalf("random locality %f, want ~0", l)
+	}
+	if LocalitySlope(nil) != 1 || LocalitySlope([]uint64{5}) != 1 {
+		t.Fatal("degenerate locality")
+	}
+}
+
+func TestBranchEntropy(t *testing.T) {
+	always := make([]bool, 100)
+	if h := BranchEntropy(always); h != 0 {
+		t.Fatalf("constant branch entropy %f", h)
+	}
+	coin := make([]bool, 1000)
+	for i := range coin {
+		coin[i] = i%2 == 0
+	}
+	if h := BranchEntropy(coin); math.Abs(h-1) > 1e-9 {
+		t.Fatalf("fair branch entropy %f, want 1", h)
+	}
+	if BranchEntropy(nil) != 0 {
+		t.Fatal("empty branch entropy")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := Characterize(sampleProfile())
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("self distance %f", d)
+	}
+	p2 := sampleProfile()
+	p2.Name = "crcish"
+	p2.FlopsPerItem = 0
+	p2.IntOpsPerItem = 100
+	b := Characterize(p2)
+	if Distance(a, b) <= 0 {
+		t.Fatal("distinct kernels at zero distance")
+	}
+	if math.Abs(Distance(a, b)-Distance(b, a)) > 1e-12 {
+		t.Fatal("distance not symmetric")
+	}
+}
+
+func TestMostSimilarPair(t *testing.T) {
+	p1 := sampleProfile()
+	p1.Name = "a"
+	p2 := sampleProfile()
+	p2.Name = "b" // identical twin of a
+	p3 := sampleProfile()
+	p3.Name = "c"
+	p3.IntOpsPerItem = 500
+	ms := []Metrics{Characterize(p1), Characterize(p3), Characterize(p2)}
+	x, y, d := MostSimilarPair(ms)
+	names := x.Kernel + y.Kernel
+	if !strings.Contains(names, "a") || !strings.Contains(names, "b") {
+		t.Fatalf("most similar pair %s/%s, want a/b", x.Kernel, y.Kernel)
+	}
+	if d != 0 {
+		t.Fatalf("twin distance %f", d)
+	}
+	if _, _, d := MostSimilarPair(ms[:1]); !math.IsNaN(d) {
+		t.Fatal("singleton set should return NaN")
+	}
+}
+
+func TestSortByName(t *testing.T) {
+	ms := []Metrics{{Kernel: "z"}, {Kernel: "a"}, {Kernel: "m"}}
+	SortByName(ms)
+	if ms[0].Kernel != "a" || ms[2].Kernel != "z" {
+		t.Fatal("sort broken")
+	}
+}

@@ -1,0 +1,131 @@
+// Package autotune implements the work-group-size autotuning the paper
+// plans in §7: "certain configuration parameters for the benchmarks, e.g.
+// local workgroup size, are amenable to auto-tuning. We plan to integrate
+// auto-tuning into the benchmarking framework to provide confidence that the
+// optimal parameters are used for each combination of code and accelerator."
+//
+// The tuner extends the device timing model with the launch-configuration
+// effects the base model abstracts away: SIMD/wavefront alignment of the
+// work-group size, per-compute-unit group residency limits, and tail
+// quantisation of the group grid.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"opendwarfs/internal/sim"
+)
+
+// WarpSize returns the native SIMT/SIMD granularity a work-group should be
+// a multiple of: 32 on Nvidia, 64 on GCN AMD, the vector width on CPUs and
+// the KNL.
+func WarpSize(spec *sim.DeviceSpec) int {
+	switch {
+	case spec.Vendor == "Nvidia":
+		return 32
+	case spec.Vendor == "AMD":
+		return 64
+	case spec.Class == sim.MIC:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// maxGroupsPerCU is the per-compute-unit group residency limit common to
+// the era's hardware.
+const maxGroupsPerCU = 16
+
+// maxGroupSize is the CL_DEVICE_MAX_WORK_GROUP_SIZE analogue.
+const maxGroupSize = 1024
+
+// Candidate is one evaluated launch configuration.
+type Candidate struct {
+	LocalSize int
+	// Efficiency in (0,1]: the fraction of the base-model throughput this
+	// configuration achieves.
+	Efficiency float64
+	// PredictedNs is the adjusted kernel-time estimate.
+	PredictedNs float64
+}
+
+// Efficiency scores a local size for a kernel launch on a device.
+//
+// Three multiplicative terms:
+//   - alignment: a group occupies ceil(local/warp) warps; partial warps
+//     idle lanes.
+//   - residency: at least maxGroupsPerCU groups of `local` items must fit
+//     to cover a compute unit's latency-hiding appetite (min(1, …)).
+//   - tail: the group grid quantises the global size; the last wave of
+//     groups may be mostly empty.
+func Efficiency(spec *sim.DeviceSpec, globalSize, localSize int) (float64, error) {
+	if localSize <= 0 || localSize > maxGroupSize {
+		return 0, fmt.Errorf("autotune: local size %d out of (0,%d]", localSize, maxGroupSize)
+	}
+	if globalSize <= 0 || globalSize%localSize != 0 {
+		return 0, fmt.Errorf("autotune: global size %d not a multiple of local %d", globalSize, localSize)
+	}
+	warp := WarpSize(spec)
+
+	fullWarps := (localSize + warp - 1) / warp
+	alignment := float64(localSize) / float64(fullWarps*warp)
+
+	// Latency hiding: each CU wants enough resident work-items; small
+	// groups hit the residency limit before filling the pipelines.
+	wanted := warp * 8
+	resident := localSize * maxGroupsPerCU
+	residency := float64(resident) / float64(wanted)
+	if residency > 1 {
+		residency = 1
+	}
+
+	// Tail quantisation across CUs.
+	groups := globalSize / localSize
+	waves := (groups + spec.CUs - 1) / spec.CUs
+	tail := float64(groups) / float64(waves*spec.CUs)
+	if tail > 1 {
+		tail = 1
+	}
+
+	return alignment * residency * tail, nil
+}
+
+// Sweep evaluates all power-of-two local sizes that divide the global size,
+// returning candidates sorted best-first.
+func Sweep(spec *sim.DeviceSpec, profile *sim.KernelProfile, globalSize int) ([]Candidate, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	model := sim.NewModel(spec)
+	base := model.KernelTime(profile).TotalNs
+	var out []Candidate
+	for local := 1; local <= maxGroupSize && local <= globalSize; local <<= 1 {
+		if globalSize%local != 0 {
+			continue
+		}
+		eff, err := Efficiency(spec, globalSize, local)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Candidate{
+			LocalSize:   local,
+			Efficiency:  eff,
+			PredictedNs: base / eff,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("autotune: no legal power-of-two local size divides %d", globalSize)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PredictedNs < out[j].PredictedNs })
+	return out, nil
+}
+
+// Best returns the winning configuration of a sweep.
+func Best(spec *sim.DeviceSpec, profile *sim.KernelProfile, globalSize int) (Candidate, error) {
+	cs, err := Sweep(spec, profile, globalSize)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return cs[0], nil
+}

@@ -1,0 +1,133 @@
+package autotune
+
+import (
+	"testing"
+
+	"opendwarfs/internal/cache"
+	"opendwarfs/internal/sim"
+)
+
+func spec(t *testing.T, id string) *sim.DeviceSpec {
+	t.Helper()
+	d, err := sim.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func profile() *sim.KernelProfile {
+	return &sim.KernelProfile{
+		Name: "stencil", WorkItems: 1 << 20,
+		FlopsPerItem: 30, LoadBytesPerItem: 24, StoreBytesPerItem: 4,
+		WorkingSetBytes: 1 << 24, Pattern: cache.Stencil,
+		TemporalReuse: 0.5, Vectorizable: true,
+	}
+}
+
+func TestWarpSizes(t *testing.T) {
+	if WarpSize(spec(t, "gtx1080")) != 32 {
+		t.Error("Nvidia warp")
+	}
+	if WarpSize(spec(t, "r9-290x")) != 64 {
+		t.Error("AMD wavefront")
+	}
+	if WarpSize(spec(t, "i7-6700k")) != 8 {
+		t.Error("CPU SIMD")
+	}
+	if WarpSize(spec(t, "knl-7210")) != 16 {
+		t.Error("KNL SIMD")
+	}
+}
+
+func TestEfficiencyPrefersWarpMultiples(t *testing.T) {
+	d := spec(t, "gtx1080")
+	aligned, err := Efficiency(d, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 items occupies two warps but fills only 1.5.
+	misaligned, err := Efficiency(d, 48*1024, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misaligned >= aligned {
+		t.Fatalf("48-item groups (%f) should underperform 64 (%f) on a 32-wide device", misaligned, aligned)
+	}
+}
+
+func TestEfficiencyPenalisesTinyGroups(t *testing.T) {
+	d := spec(t, "r9-290x")
+	tiny, _ := Efficiency(d, 1<<20, 1)
+	good, _ := Efficiency(d, 1<<20, 256)
+	if tiny >= good {
+		t.Fatalf("singleton groups (%f) should underperform 256 (%f)", tiny, good)
+	}
+}
+
+func TestEfficiencyValidation(t *testing.T) {
+	d := spec(t, "gtx1080")
+	if _, err := Efficiency(d, 1000, 64); err == nil {
+		t.Fatal("non-divisible global accepted")
+	}
+	if _, err := Efficiency(d, 1024, 0); err == nil {
+		t.Fatal("zero local accepted")
+	}
+	if _, err := Efficiency(d, 4096, 2048); err == nil {
+		t.Fatal("over-limit local accepted")
+	}
+}
+
+func TestSweepOrdersByPredictedTime(t *testing.T) {
+	d := spec(t, "gtx1080")
+	cs, err := Sweep(d, profile(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) < 8 {
+		t.Fatalf("only %d candidates", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i].PredictedNs < cs[i-1].PredictedNs {
+			t.Fatal("sweep not sorted best-first")
+		}
+	}
+	best, err := Best(d, profile(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.LocalSize != cs[0].LocalSize {
+		t.Fatal("Best disagrees with Sweep")
+	}
+	// On a 32-wide SIMT device the winner must be a warp multiple ≥ 64.
+	if best.LocalSize%32 != 0 {
+		t.Fatalf("best local size %d not warp aligned", best.LocalSize)
+	}
+}
+
+func TestSweepDeviceDependence(t *testing.T) {
+	// The tuned group size differs between a 64-wide AMD GCN part and an
+	// 8-wide CPU — the reason the paper wants per-device tuning (§7).
+	amdBest, err := Best(spec(t, "r9-290x"), profile(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amdBest.LocalSize%64 != 0 {
+		t.Fatalf("AMD best %d not wavefront aligned", amdBest.LocalSize)
+	}
+	cpuBest, err := Best(spec(t, "i7-6700k"), profile(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuBest.Efficiency <= 0 {
+		t.Fatal("CPU sweep degenerate")
+	}
+}
+
+func TestSweepRejectsBadProfile(t *testing.T) {
+	bad := profile()
+	bad.WorkItems = 0
+	if _, err := Sweep(spec(t, "gtx1080"), bad, 1<<20); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

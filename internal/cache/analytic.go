@@ -1,0 +1,144 @@
+package cache
+
+import "fmt"
+
+// Level describes one level of a cache hierarchy for the analytical model.
+type Level struct {
+	Name string
+	// SizeKiB is the effective capacity available to one kernel.
+	SizeKiB float64
+	// BandwidthGBs is the sustained bandwidth when serving from this level.
+	BandwidthGBs float64
+	// LatencyNs is the load-to-use latency of the level.
+	LatencyNs float64
+}
+
+// Hierarchy is the analytical cache model of a device's memory system. The
+// last implicit level is DRAM (or GPU global memory).
+type Hierarchy struct {
+	Levels []Level
+	// DRAMBandwidthGBs is the peak main/global-memory bandwidth.
+	DRAMBandwidthGBs float64
+	// DRAMLatencyNs is the main-memory access latency.
+	DRAMLatencyNs float64
+	// MLP is the number of outstanding misses the device sustains
+	// (memory-level parallelism); it divides the latency-bound term.
+	MLP float64
+	// LineBytes is the cache line size (64 on everything we model).
+	LineBytes float64
+}
+
+// Traffic is the result of resolving a kernel's memory behaviour against a
+// hierarchy: what fraction of traffic each level served and the resulting
+// time estimate inputs.
+type Traffic struct {
+	// ServedFrac[i] is the fraction of accesses served by Levels[i];
+	// DRAMFrac is the remainder served by main memory.
+	ServedFrac []float64
+	DRAMFrac   float64
+	// DRAMBytes is the volume of main-memory traffic implied by the total
+	// bytes and DRAMFrac.
+	DRAMBytes float64
+	// MissRate[i] is the fraction of accesses that miss in level i
+	// (i.e. are served beyond it) — the analogue of PAPI_Lx_DCM / access.
+	MissRate []float64
+	// TimeNs is the modelled memory service time for the whole traffic
+	// volume, combining per-level bandwidth terms and a latency term for
+	// latency-bound patterns.
+	TimeNs float64
+}
+
+// Request describes a kernel's aggregate memory behaviour for one launch.
+type Request struct {
+	// TotalBytes is the total load+store traffic issued by the kernel.
+	TotalBytes float64
+	// WorkingSetBytes is the device-side footprint the traffic cycles over
+	// (the quantity the paper sizes against the Skylake hierarchy, Eq. 1).
+	WorkingSetBytes float64
+	Pattern         Pattern
+	// TemporalReuse is the fraction of accesses to just-touched data that
+	// hit in the first level regardless of footprint (register/L1 locality
+	// the kernel exposes, e.g. kmeans centroid reads).
+	TemporalReuse float64
+}
+
+// Resolve applies the analytical model to a request.
+func (h Hierarchy) Resolve(req Request) Traffic {
+	t := Traffic{
+		ServedFrac: make([]float64, len(h.Levels)),
+		MissRate:   make([]float64, len(h.Levels)),
+	}
+	if req.TotalBytes <= 0 {
+		return t
+	}
+	r := clamp01(req.TemporalReuse)
+	w := req.WorkingSetBytes
+	// Cumulative hit probability at each level: temporal reuse hits the
+	// first level; the remainder hits according to capacity containment.
+	prev := 0.0
+	for i, lv := range h.Levels {
+		cum := r + (1-r)*req.Pattern.hitGivenCapacity(lv.SizeKiB*1024, w)
+		if i == 0 {
+			// reuse term credited to L1 only.
+		} else if cum < prev {
+			cum = prev // monotone
+		}
+		t.ServedFrac[i] = cum - prev
+		t.MissRate[i] = 1 - cum
+		prev = cum
+	}
+	t.DRAMFrac = 1 - prev
+	t.DRAMBytes = t.DRAMFrac * req.TotalBytes
+
+	// Bandwidth terms per level.
+	for i, lv := range h.Levels {
+		if lv.BandwidthGBs > 0 {
+			t.TimeNs += t.ServedFrac[i] * req.TotalBytes / lv.BandwidthGBs
+		}
+	}
+	eff := req.Pattern.streamEfficiency()
+	if h.DRAMBandwidthGBs > 0 {
+		t.TimeNs += t.DRAMBytes / (h.DRAMBandwidthGBs * eff)
+	}
+	// Latency-bound term: misses to DRAM that cannot be overlapped.
+	mlp := h.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	line := h.LineBytes
+	if line <= 0 {
+		line = 64
+	}
+	misses := t.DRAMBytes / line
+	t.TimeNs += misses * req.Pattern.latencyBound() * h.DRAMLatencyNs / mlp
+	return t
+}
+
+// Validate reports an error if the hierarchy is malformed (levels must be
+// ordered by increasing capacity and have positive bandwidth).
+func (h Hierarchy) Validate() error {
+	prev := 0.0
+	for i, lv := range h.Levels {
+		if lv.SizeKiB <= prev {
+			return fmt.Errorf("cache: level %d (%s) size %.1f KiB not larger than previous %.1f KiB", i, lv.Name, lv.SizeKiB, prev)
+		}
+		if lv.BandwidthGBs <= 0 {
+			return fmt.Errorf("cache: level %d (%s) has non-positive bandwidth", i, lv.Name)
+		}
+		prev = lv.SizeKiB
+	}
+	if h.DRAMBandwidthGBs <= 0 {
+		return fmt.Errorf("cache: non-positive DRAM bandwidth")
+	}
+	return nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

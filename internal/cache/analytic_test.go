@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func skylakeHierarchy() Hierarchy {
+	return Hierarchy{
+		Levels: []Level{
+			{Name: "L1", SizeKiB: 32, BandwidthGBs: 400, LatencyNs: 1.2},
+			{Name: "L2", SizeKiB: 256, BandwidthGBs: 200, LatencyNs: 3.5},
+			{Name: "L3", SizeKiB: 8192, BandwidthGBs: 100, LatencyNs: 11},
+		},
+		DRAMBandwidthGBs: 34,
+		DRAMLatencyNs:    80,
+		MLP:              10,
+		LineBytes:        64,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := skylakeHierarchy()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid hierarchy rejected: %v", err)
+	}
+	bad := skylakeHierarchy()
+	bad.Levels[1].SizeKiB = 16 // smaller than L1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("descending level sizes accepted")
+	}
+	bad2 := skylakeHierarchy()
+	bad2.DRAMBandwidthGBs = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero DRAM bandwidth accepted")
+	}
+	bad3 := skylakeHierarchy()
+	bad3.Levels[0].BandwidthGBs = -1
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("negative level bandwidth accepted")
+	}
+}
+
+func TestResolveFitsInL1(t *testing.T) {
+	h := skylakeHierarchy()
+	tr := h.Resolve(Request{TotalBytes: 1 << 20, WorkingSetBytes: 16 << 10, Pattern: Streaming})
+	if tr.ServedFrac[0] < 0.999 {
+		t.Fatalf("16KiB working set should be fully L1-resident, got L1 frac %.3f", tr.ServedFrac[0])
+	}
+	if tr.DRAMFrac > 1e-9 {
+		t.Fatalf("expected no DRAM traffic, got frac %.3g", tr.DRAMFrac)
+	}
+}
+
+func TestResolveSpillsPerLevel(t *testing.T) {
+	h := skylakeHierarchy()
+	// The paper's four sizes: tiny fits L1, small fits L2, medium fits L3,
+	// large spills to DRAM. Check each lands where intended for streaming.
+	cases := []struct {
+		ws    float64
+		level int // index of the level expected to serve the bulk; 3=DRAM
+	}{
+		{30 << 10, 0},
+		{250 << 10, 1},
+		{7 << 20, 2},
+		{64 << 20, 3},
+	}
+	for _, c := range cases {
+		tr := h.Resolve(Request{TotalBytes: 1 << 24, WorkingSetBytes: c.ws, Pattern: Streaming})
+		fracs := append(append([]float64{}, tr.ServedFrac...), tr.DRAMFrac)
+		best, bestFrac := -1, -1.0
+		for i, f := range fracs {
+			if f > bestFrac {
+				best, bestFrac = i, f
+			}
+		}
+		if best != c.level {
+			t.Errorf("working set %.0f KiB: bulk served by level %d (frac %.2f), want %d; fracs=%v",
+				c.ws/1024, best, bestFrac, c.level, fracs)
+		}
+	}
+}
+
+func TestResolveTimeMonotoneInWorkingSet(t *testing.T) {
+	h := skylakeHierarchy()
+	prev := -1.0
+	for _, ws := range []float64{8 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20} {
+		tr := h.Resolve(Request{TotalBytes: 1 << 24, WorkingSetBytes: ws, Pattern: Random})
+		if tr.TimeNs < prev {
+			t.Fatalf("memory time decreased when working set grew to %.0f KiB: %.1f < %.1f", ws/1024, tr.TimeNs, prev)
+		}
+		prev = tr.TimeNs
+	}
+}
+
+func TestResolveRandomSlowerThanStreaming(t *testing.T) {
+	h := skylakeHierarchy()
+	req := Request{TotalBytes: 1 << 26, WorkingSetBytes: 64 << 20}
+	req.Pattern = Streaming
+	st := h.Resolve(req).TimeNs
+	req.Pattern = Random
+	rn := h.Resolve(req).TimeNs
+	if rn <= st {
+		t.Fatalf("random access (%.0f ns) should cost more than streaming (%.0f ns) for a DRAM-resident set", rn, st)
+	}
+}
+
+func TestResolveTemporalReuseReducesTime(t *testing.T) {
+	h := skylakeHierarchy()
+	base := h.Resolve(Request{TotalBytes: 1 << 26, WorkingSetBytes: 64 << 20, Pattern: Random})
+	reused := h.Resolve(Request{TotalBytes: 1 << 26, WorkingSetBytes: 64 << 20, Pattern: Random, TemporalReuse: 0.9})
+	if reused.TimeNs >= base.TimeNs {
+		t.Fatalf("temporal reuse should reduce memory time: %.0f >= %.0f", reused.TimeNs, base.TimeNs)
+	}
+	if reused.DRAMBytes >= base.DRAMBytes {
+		t.Fatalf("temporal reuse should reduce DRAM traffic: %.0f >= %.0f", reused.DRAMBytes, base.DRAMBytes)
+	}
+}
+
+func TestResolveZeroTraffic(t *testing.T) {
+	h := skylakeHierarchy()
+	tr := h.Resolve(Request{})
+	if tr.TimeNs != 0 || tr.DRAMBytes != 0 {
+		t.Fatalf("zero request should produce zero traffic, got %+v", tr)
+	}
+}
+
+// Property: served fractions plus DRAM fraction always form a probability
+// distribution, for any request.
+func TestResolveFractionsSumToOne(t *testing.T) {
+	h := skylakeHierarchy()
+	f := func(totKiB, wsKiB uint16, pat uint8, reuse float64) bool {
+		req := Request{
+			TotalBytes:      float64(totKiB)*1024 + 1,
+			WorkingSetBytes: float64(wsKiB)*1024 + 1,
+			Pattern:         Pattern(pat % 4),
+			TemporalReuse:   math.Mod(math.Abs(reuse), 1),
+		}
+		tr := h.Resolve(req)
+		sum := tr.DRAMFrac
+		for _, s := range tr.ServedFrac {
+			if s < -1e-12 {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-9 && tr.TimeNs >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: miss rate at each level is non-increasing as capacity grows
+// (deeper levels miss less often).
+func TestResolveMissRatesMonotone(t *testing.T) {
+	h := skylakeHierarchy()
+	f := func(wsKiB uint32, pat uint8) bool {
+		tr := h.Resolve(Request{
+			TotalBytes:      1 << 22,
+			WorkingSetBytes: float64(wsKiB%(64<<10)) * 1024,
+			Pattern:         Pattern(pat % 4),
+		})
+		prev := 1.0
+		for _, m := range tr.MissRate {
+			if m > prev+1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return tr.DRAMFrac <= prev+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	want := map[Pattern]string{Streaming: "streaming", Strided: "strided", Random: "random", Stencil: "stencil", Pattern(99): "unknown"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Pattern(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestHitGivenCapacityMonotone(t *testing.T) {
+	for pat := Pattern(0); pat < 4; pat++ {
+		prev := -1.0
+		for c := 1024.0; c <= 1<<26; c *= 2 {
+			h := pat.hitGivenCapacity(c, 1<<24)
+			if h < prev {
+				t.Fatalf("%v: hit fraction decreased at capacity %.0f", pat, c)
+			}
+			if h < 0 || h > 1 {
+				t.Fatalf("%v: hit fraction %f out of range", pat, h)
+			}
+			prev = h
+		}
+		if got := pat.hitGivenCapacity(1<<25, 1<<24); got != 1 {
+			t.Fatalf("%v: fitting working set should hit with probability 1, got %f", pat, got)
+		}
+	}
+}

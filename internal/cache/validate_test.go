@@ -1,0 +1,160 @@
+package cache
+
+// Cross-validation of the analytical hierarchy model against the
+// trace-driven LRU simulator: for each access pattern and working-set size
+// the two models must agree on which level serves the bulk of traffic and
+// roughly on the miss rates. This is the evidence that the analytic model
+// used by the device simulator encodes the same §4.4 cache behaviour the
+// paper verified with PAPI counters.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// analytic Skylake hierarchy matching NewSkylakeTrace geometry.
+func analyticSkylake() Hierarchy {
+	return Hierarchy{
+		Levels: []Level{
+			{Name: "L1", SizeKiB: 32, BandwidthGBs: 400, LatencyNs: 1},
+			{Name: "L2", SizeKiB: 256, BandwidthGBs: 200, LatencyNs: 3.5},
+			{Name: "L3", SizeKiB: 8192, BandwidthGBs: 120, LatencyNs: 12},
+		},
+		DRAMBandwidthGBs: 34, DRAMLatencyNs: 80, MLP: 10, LineBytes: 64,
+	}
+}
+
+// traceFracs runs a trace and returns the fraction of accesses served at
+// each of L1, L2, L3, DRAM.
+func traceFracs(addrs []uint64) [4]float64 {
+	h := NewSkylakeTrace()
+	var served [4]float64
+	for _, a := range addrs {
+		served[h.Access(a)]++
+	}
+	total := float64(len(addrs))
+	for i := range served {
+		served[i] /= total
+	}
+	return served
+}
+
+// analyticFracs resolves a working set and returns the same four fractions.
+func analyticFracs(ws float64, pat Pattern) [4]float64 {
+	tr := analyticSkylake().Resolve(Request{
+		TotalBytes:      1 << 24,
+		WorkingSetBytes: ws,
+		Pattern:         pat,
+	})
+	return [4]float64{tr.ServedFrac[0], tr.ServedFrac[1], tr.ServedFrac[2], tr.DRAMFrac}
+}
+
+func dominant(f [4]float64) int {
+	best := 0
+	for i, v := range f {
+		if v > f[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// cyclicTrace streams line-granular addresses over ws bytes for passes
+// rounds (warm cache behaviour dominates after the first pass).
+func cyclicTrace(ws uint64, passes int) []uint64 {
+	var out []uint64
+	for p := 0; p < passes; p++ {
+		for a := uint64(0); a < ws; a += 64 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func randomTrace(ws uint64, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(rng.Int63n(int64(ws)))
+	}
+	return out
+}
+
+func TestStreamingDominantLevelAgreement(t *testing.T) {
+	cases := []struct {
+		ws   uint64
+		name string
+	}{
+		{16 << 10, "L1-resident"},
+		{128 << 10, "L2-resident"},
+		{4 << 20, "L3-resident"},
+		{64 << 20, "DRAM-resident"},
+	}
+	for _, c := range cases {
+		tf := traceFracs(cyclicTrace(c.ws, 6))
+		af := analyticFracs(float64(c.ws), Streaming)
+		if got, want := dominant(af), dominant(tf); got != want {
+			t.Errorf("%s: analytic bulk level %d, trace says %d (analytic %v, trace %v)",
+				c.name, got, want, af, tf)
+		}
+	}
+}
+
+func TestStreamingThrashAgreement(t *testing.T) {
+	// 64 KiB cyclic stream: both models must report near-total L1 missing
+	// (the LRU-thrash cliff the Streaming cubic encodes).
+	tf := traceFracs(cyclicTrace(64<<10, 6))
+	af := analyticFracs(64<<10, Streaming)
+	if tf[0] > 0.1 {
+		t.Fatalf("trace says L1 serves %.2f of an over-capacity cyclic stream", tf[0])
+	}
+	if af[0] > 0.2 {
+		t.Fatalf("analytic model says L1 serves %.2f; should thrash like the trace (%.2f)", af[0], tf[0])
+	}
+}
+
+func TestRandomMissRateAgreement(t *testing.T) {
+	// Random access over working sets between L2 and L3: the resident
+	// fraction served below L3 should agree within a loose band.
+	for _, ws := range []uint64{1 << 20, 4 << 20} {
+		tf := traceFracs(randomTrace(ws, 400000, 3))
+		af := analyticFracs(float64(ws), Random)
+		// Compare the "beyond L2" fraction (L3 + DRAM).
+		traceBeyond := tf[2] + tf[3]
+		analyticBeyond := af[2] + af[3]
+		if math.Abs(traceBeyond-analyticBeyond) > 0.3 {
+			t.Errorf("ws %d KiB: beyond-L2 fraction analytic %.2f vs trace %.2f",
+				ws>>10, analyticBeyond, traceBeyond)
+		}
+	}
+}
+
+func TestFittingSetFullyCachedBothModels(t *testing.T) {
+	// A 16 KiB random set: after warmup both models serve ~everything
+	// from L1.
+	trace := randomTrace(16<<10, 200000, 4)
+	tf := traceFracs(trace)
+	af := analyticFracs(16<<10, Random)
+	if tf[0] < 0.95 {
+		t.Fatalf("trace L1 fraction %.3f for a fitting set", tf[0])
+	}
+	if af[0] < 0.95 {
+		t.Fatalf("analytic L1 fraction %.3f for a fitting set", af[0])
+	}
+}
+
+func TestDRAMResidentRandomAgreement(t *testing.T) {
+	// 64 MiB random walk: most accesses reach memory in both models.
+	tf := traceFracs(randomTrace(64<<20, 400000, 5))
+	af := analyticFracs(64<<20, Random)
+	if tf[3] < 0.5 {
+		t.Fatalf("trace DRAM fraction %.2f for a 64 MiB random walk", tf[3])
+	}
+	if af[3] < 0.5 {
+		t.Fatalf("analytic DRAM fraction %.2f, trace %.2f", af[3], tf[3])
+	}
+	if math.Abs(af[3]-tf[3]) > 0.35 {
+		t.Fatalf("DRAM fractions diverge: analytic %.2f vs trace %.2f", af[3], tf[3])
+	}
+}

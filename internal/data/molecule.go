@@ -1,0 +1,125 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Molecule is the gem benchmark input: a set of charged atoms and the
+// solvent-excluded surface vertices at which the electrostatic potential is
+// evaluated. The paper builds these from MMDB structures through pdb2pqr and
+// msms (§4.4.4); here they are synthesised with matching device-side
+// footprints, since gem's cost is vertices × atoms and its memory behaviour
+// depends only on the array sizes.
+type Molecule struct {
+	Name string
+	// AtomX/Y/Z/Q are the atom positions and partial charges (the pqr
+	// fields gem reads).
+	AtomX, AtomY, AtomZ, AtomQ []float32
+	// VertX/Y/Z are surface sample positions.
+	VertX, VertY, VertZ []float32
+}
+
+// Atoms returns the atom count.
+func (m *Molecule) Atoms() int { return len(m.AtomX) }
+
+// Vertices returns the surface vertex count.
+func (m *Molecule) Vertices() int { return len(m.VertX) }
+
+// FootprintBytes is the device-side memory gem allocates: four atom arrays,
+// three vertex arrays, and the output potential per vertex.
+func (m *Molecule) FootprintBytes() int64 {
+	return int64(m.Atoms())*4*4 + int64(m.Vertices())*4*4
+}
+
+// MoleculePreset mirrors one row of the paper's gem dataset (Table 2 and
+// §4.4.4), with atom/vertex counts chosen to land on the reported
+// device-side footprints.
+type MoleculePreset struct {
+	Size string
+	// PDBID is the structure the paper used.
+	PDBID string
+	// Description per §4.4.4.
+	Description  string
+	Atoms        int
+	Vertices     int
+	FootprintKiB float64
+}
+
+// MoleculePresets lists the paper's four gem inputs:
+// tiny = prion peptide 4TUT (31.3 KiB), small = leukocyte receptor 2D3V
+// (252 KiB), medium = the OpenDwarfs nucleosome (7498 KiB), large =
+// nucleosome core particle 1KX5 (10 970.2 KiB).
+func MoleculePresets() []MoleculePreset {
+	return []MoleculePreset{
+		{Size: "tiny", PDBID: "4TUT", Description: "Prion Peptide, 1 protein molecule",
+			Atoms: 350, Vertices: 1653, FootprintKiB: 31.3},
+		{Size: "small", PDBID: "2D3V", Description: "Leukocyte Receptor, 1 protein molecule",
+			Atoms: 3200, Vertices: 12928, FootprintKiB: 252},
+		{Size: "medium", PDBID: "nucleosome", Description: "OpenDwarfs nucleosome dataset",
+			Atoms: 80000, Vertices: 399872, FootprintKiB: 7498},
+		{Size: "large", PDBID: "1KX5", Description: "Nucleosome Core Particle: 8 protein, 2 nucleotide, 18 chemical molecules",
+			Atoms: 120000, Vertices: 582093, FootprintKiB: 10970.2},
+	}
+}
+
+// MoleculePresetFor returns the preset for a problem size.
+func MoleculePresetFor(size string) (MoleculePreset, error) {
+	for _, p := range MoleculePresets() {
+		if p.Size == size {
+			return p, nil
+		}
+	}
+	return MoleculePreset{}, fmt.Errorf("data: no gem molecule preset for size %q", size)
+}
+
+// GenerateMolecule synthesises a molecule: atoms clustered into residue-like
+// blobs inside a globular radius, partial charges in [-1, 1] summing to
+// roughly zero, and vertices on a noisy solvent-excluded-like shell around
+// the atom cloud.
+func GenerateMolecule(p MoleculePreset, seed int64) *Molecule {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Molecule{
+		Name:  p.PDBID,
+		AtomX: make([]float32, p.Atoms), AtomY: make([]float32, p.Atoms),
+		AtomZ: make([]float32, p.Atoms), AtomQ: make([]float32, p.Atoms),
+		VertX: make([]float32, p.Vertices), VertY: make([]float32, p.Vertices),
+		VertZ: make([]float32, p.Vertices),
+	}
+	// Globular protein radius scales with the cube root of atom count
+	// (~1.6 Å per atom^(1/3) empirical packing).
+	radius := 1.6 * math.Cbrt(float64(p.Atoms))
+	// Residue blobs of ~8 atoms.
+	var bx, by, bz float64
+	qsum := 0.0
+	for i := 0; i < p.Atoms; i++ {
+		if i%8 == 0 {
+			u, v, w := rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1
+			bx, by, bz = u*radius*0.8, v*radius*0.8, w*radius*0.8
+		}
+		m.AtomX[i] = float32(bx + rng.NormFloat64()*1.5)
+		m.AtomY[i] = float32(by + rng.NormFloat64()*1.5)
+		m.AtomZ[i] = float32(bz + rng.NormFloat64()*1.5)
+		q := rng.Float64()*2 - 1
+		qsum += q
+		m.AtomQ[i] = float32(q)
+	}
+	// Neutralise overall charge (proteins at pH 7 are near neutral).
+	adjust := float32(qsum / float64(p.Atoms))
+	for i := range m.AtomQ {
+		m.AtomQ[i] -= adjust
+	}
+	// Surface shell at radius + 1.4 Å probe, with roughness.
+	shell := radius + 1.4
+	for i := 0; i < p.Vertices; i++ {
+		// Uniform direction via normalised Gaussian triple.
+		x, y, z := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		n := math.Sqrt(x*x+y*y+z*z) + 1e-12
+		r := shell * (1 + 0.08*rng.NormFloat64())
+		m.VertX[i] = float32(x / n * r)
+		m.VertY[i] = float32(y / n * r)
+		m.VertZ[i] = float32(z / n * r)
+	}
+	return m
+}

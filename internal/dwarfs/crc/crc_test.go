@@ -1,0 +1,149 @@
+package crc
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/data"
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/opencl"
+)
+
+func newEnv(t *testing.T) (*opencl.Context, *opencl.CommandQueue) {
+	t.Helper()
+	dev, err := opencl.LookupDevice("i7-6700k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func TestMetadata(t *testing.T) {
+	b := New()
+	if b.Name() != "crc" || b.Dwarf() != "Combinational Logic" {
+		t.Fatal("metadata")
+	}
+	if got := b.ArgString("small"); got != "-i 1000 16000.txt" {
+		t.Fatalf("Table 3 args %q", got)
+	}
+	if got := b.ScaleParameter("large"); got != "4194304" {
+		t.Fatalf("Φ %q", got)
+	}
+	if _, err := b.New("giant", 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestKernelMatchesStdlib(t *testing.T) {
+	for _, size := range []string{dwarfs.SizeTiny, dwarfs.SizeSmall, dwarfs.SizeMedium} {
+		ctx, q := newEnv(t)
+		inst, err := New().New(size, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		if err := dwarfs.CheckFootprint(inst, ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("%s: %v", size, err)
+		}
+	}
+}
+
+func TestOddLengthMessages(t *testing.T) {
+	// Non-multiple-of-page lengths exercise the tail page.
+	for _, n := range []int{1, 1023, 1025, 3000} {
+		ctx, q := newEnv(t)
+		inst := NewInstance(n, 99)
+		if err := inst.Setup(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCombineAgainstStdlib(t *testing.T) {
+	a := data.RandomBytes(1500, 1)
+	b := data.RandomBytes(777, 2)
+	crcA := crc32.ChecksumIEEE(a)
+	crcB := crc32.ChecksumIEEE(b)
+	want := crc32.ChecksumIEEE(append(append([]byte{}, a...), b...))
+	if got := Combine(crcA, crcB, int64(len(b))); got != want {
+		t.Fatalf("combine %08x, want %08x", got, want)
+	}
+}
+
+func TestCombineZeroLength(t *testing.T) {
+	if got := Combine(0xdeadbeef, 0x12345678, 0); got != 0xdeadbeef {
+		t.Fatalf("zero-length combine must return crcA, got %08x", got)
+	}
+}
+
+// Property: Combine agrees with stdlib for arbitrary splits.
+func TestCombineSplitProperty(t *testing.T) {
+	f := func(seed int64, lenA, lenB uint16) bool {
+		a := data.RandomBytes(int(lenA)+1, seed)
+		b := data.RandomBytes(int(lenB)+1, seed+1)
+		whole := crc32.ChecksumIEEE(append(append([]byte{}, a...), b...))
+		return Combine(crc32.ChecksumIEEE(a), crc32.ChecksumIEEE(b), int64(len(b))) == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CRC is linear over GF(2) for equal-length messages —
+// crc(a^b) ^ crc(a) ^ crc(b) is a constant depending only on length.
+func TestCRCLinearityProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		ln := int(n) + 1
+		a := data.RandomBytes(ln, seed)
+		b := data.RandomBytes(ln, seed+7)
+		x := make([]byte, ln)
+		zero := make([]byte, ln)
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		lhs := crc32.ChecksumIEEE(x) ^ crc32.ChecksumIEEE(a) ^ crc32.ChecksumIEEE(b)
+		return lhs == crc32.ChecksumIEEE(zero)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileNotVectorizable(t *testing.T) {
+	inst := NewInstance(4096, 1)
+	p := inst.profile(opencl.NDR1(4, 4))
+	if p.Vectorizable {
+		t.Fatal("crc must be profiled as non-vectorizable (the Fig. 1 mechanism)")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	inst := NewInstance(100, 1)
+	_, q := newEnv(t)
+	if err := inst.Iterate(q); err == nil {
+		t.Fatal("Iterate before Setup accepted")
+	}
+	if err := inst.Verify(); err == nil {
+		t.Fatal("Verify before Iterate accepted")
+	}
+}

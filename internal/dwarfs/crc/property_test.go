@@ -1,0 +1,77 @@
+package crc
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/data"
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("e5-2697v2")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+// Property: the page-parallel kernel + GF(2) combine matches the stdlib for
+// arbitrary message lengths.
+func TestPagedCRCMatchesStdlibProperty(t *testing.T) {
+	f := func(seed int64, lenRaw uint16) bool {
+		n := int(lenRaw)%8000 + 1
+		ctx, q := quickEnv()
+		if ctx == nil {
+			return false
+		}
+		inst := NewInstance(n, seed)
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		return inst.Result() == crc32.ChecksumIEEE(inst.msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Combine is associative over three-way splits.
+func TestCombineAssociativityProperty(t *testing.T) {
+	f := func(seed int64, la, lb, lc uint8) bool {
+		a := data.RandomBytes(int(la)+1, seed)
+		b := data.RandomBytes(int(lb)+1, seed+1)
+		c := data.RandomBytes(int(lc)+1, seed+2)
+		ca := crc32.ChecksumIEEE(a)
+		cb := crc32.ChecksumIEEE(b)
+		cc := crc32.ChecksumIEEE(c)
+		left := Combine(Combine(ca, cb, int64(len(b))), cc, int64(len(c)))
+		right := Combine(ca, Combine(cb, cc, int64(len(c))), int64(len(b)+len(c)))
+		whole := crc32.ChecksumIEEE(append(append(append([]byte{}, a...), b...), c...))
+		return left == right && left == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the CRC detects any single-bit flip (minimum distance of the
+// code over short messages).
+func TestSingleBitErrorDetectionProperty(t *testing.T) {
+	f := func(seed int64, posRaw uint16, bit uint8) bool {
+		msg := data.RandomBytes(256, seed)
+		orig := crc32.ChecksumIEEE(msg)
+		pos := int(posRaw) % len(msg)
+		msg[pos] ^= 1 << (bit % 8)
+		return crc32.ChecksumIEEE(msg) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package csr
+
+import (
+	"testing"
+
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/opencl"
+)
+
+func newEnv(t *testing.T) (*opencl.Context, *opencl.CommandQueue) {
+	t.Helper()
+	dev, err := opencl.LookupDevice("gtx1080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func TestMetadata(t *testing.T) {
+	b := New()
+	if b.Name() != "csr" || b.Dwarf() != "Sparse Linear Algebra" {
+		t.Fatal("metadata")
+	}
+	if got := b.ScaleParameter("tiny"); got != "736" {
+		t.Fatalf("Φ(tiny) = %q", got)
+	}
+	if got := b.ScaleParameter("large"); got != "16384" {
+		t.Fatalf("Φ(large) = %q", got)
+	}
+	if _, err := b.New("nope", 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	for _, size := range []string{dwarfs.SizeTiny, dwarfs.SizeSmall} {
+		ctx, q := newEnv(t)
+		inst, err := New().New(size, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		if err := dwarfs.CheckFootprint(inst, ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("%s: %v", size, err)
+		}
+	}
+}
+
+func TestRepeatedIterationsStable(t *testing.T) {
+	ctx, q := newEnv(t)
+	inst, err := NewInstance(512, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyFootprintFitsL1(t *testing.T) {
+	inst, err := New().New(dwarfs.SizeTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kib := float64(inst.FootprintBytes()) / 1024; kib > 32 {
+		t.Fatalf("tiny csr %.1f KiB exceeds L1", kib)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	inst, _ := NewInstance(64, 0.1, 1)
+	_, q := newEnv(t)
+	if err := inst.Iterate(q); err == nil {
+		t.Fatal("Iterate before Setup accepted")
+	}
+	if err := inst.Verify(); err == nil {
+		t.Fatal("Verify before Iterate accepted")
+	}
+}
+
+func TestProfileReflectsDensity(t *testing.T) {
+	sparse, _ := NewInstance(1024, 0.005, 1)
+	dense, _ := NewInstance(1024, 0.1, 1)
+	ps := sparse.profile(opencl.NDR1(1024, 64))
+	pd := dense.profile(opencl.NDR1(1024, 64))
+	if pd.FlopsPerItem <= ps.FlopsPerItem {
+		t.Fatal("denser matrix must carry more flops per row")
+	}
+	if err := ps.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package csr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/data"
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("r9-furyx")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+// Property: the SpMV kernel matches the serial reference for arbitrary
+// matrix sizes and densities.
+func TestSpMVAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw)%300 + 4
+		density := float64(dRaw%50+1) / 100
+		ctx, q := quickEnv()
+		if ctx == nil {
+			return false
+		}
+		inst, err := NewInstance(n, density, seed)
+		if err != nil {
+			return false
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		return inst.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SpMV is linear — A(αx) = α(Ax), computed serially on the same
+// generated matrix the benchmark uses.
+func TestSpMVLinearityProperty(t *testing.T) {
+	f := func(seed int64, alphaRaw int8) bool {
+		alpha := float32(alphaRaw) / 16
+		m, err := data.CreateCSR(128, 0.05, seed)
+		if err != nil {
+			return false
+		}
+		x := make([]float32, 128)
+		ax := make([]float32, 128)
+		for i := range x {
+			x[i] = float32(i%7) - 3
+			ax[i] = alpha * x[i]
+		}
+		y1 := make([]float32, 128)
+		y2 := make([]float32, 128)
+		m.MulVec(x, y1)
+		m.MulVec(ax, y2)
+		for i := range y1 {
+			if math.Abs(float64(y2[i]-alpha*y1[i])) > 1e-4*(1+math.Abs(float64(alpha*y1[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a zero vector maps to a zero vector.
+func TestSpMVZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := data.CreateCSR(64, 0.1, seed)
+		if err != nil {
+			return false
+		}
+		x := make([]float32, 64)
+		y := make([]float32, 64)
+		m.MulVec(x, y)
+		for _, v := range y {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package dwarfs
+
+import (
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/opencl"
+)
+
+// fakeBench is a minimal Benchmark for registry tests.
+type fakeBench struct{ name string }
+
+func (f fakeBench) Name() string                      { return f.name }
+func (fakeBench) Dwarf() string                       { return "Fake" }
+func (fakeBench) Sizes() []string                     { return Sizes() }
+func (fakeBench) ScaleParameter(string) string        { return "1" }
+func (fakeBench) ArgString(string) string             { return "-x 1" }
+func (fakeBench) New(string, int64) (Instance, error) { return nil, nil }
+
+func TestSizes(t *testing.T) {
+	s := Sizes()
+	if len(s) != 4 || s[0] != SizeTiny || s[3] != SizeLarge {
+		t.Fatalf("sizes %v", s)
+	}
+	for _, v := range s {
+		if !ValidSize(v) {
+			t.Errorf("%s invalid", v)
+		}
+	}
+	if ValidSize("enormous") {
+		t.Error("bogus size accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r, err := NewRegistry(fakeBench{"a"}, fakeBench{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.All()) != 2 {
+		t.Fatal("All() wrong")
+	}
+	if b, err := r.Get("a"); err != nil || b.Name() != "a" {
+		t.Fatal("Get failed")
+	}
+	if _, err := r.Get("c"); err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatal("unknown accepted")
+	}
+	if _, err := NewRegistry(fakeBench{"a"}, fakeBench{"a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+// footInst implements Instance with a fixed declared footprint.
+type footInst struct{ declared int64 }
+
+func (f footInst) Setup(*opencl.Context, *opencl.CommandQueue) error { return nil }
+func (f footInst) Iterate(*opencl.CommandQueue) error                { return nil }
+func (f footInst) Verify() error                                     { return nil }
+func (f footInst) FootprintBytes() int64                             { return f.declared }
+
+func TestCheckFootprint(t *testing.T) {
+	dev, err := opencl.LookupDevice("i7-6700k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := opencl.NewContext(dev)
+	opencl.NewBuffer[float32](ctx, "x", 256) // 1024 bytes live
+	if err := CheckFootprint(footInst{1024}, ctx); err != nil {
+		t.Fatalf("matching footprint rejected: %v", err)
+	}
+	if err := CheckFootprint(footInst{999}, ctx); err == nil {
+		t.Fatal("mismatched footprint accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/opencl"
+)
+
+func newEnv(t *testing.T) (*opencl.Context, *opencl.CommandQueue) {
+	t.Helper()
+	dev, err := opencl.LookupDevice("gtx1080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func TestMetadata(t *testing.T) {
+	b := New()
+	if b.Name() != "fft" || b.Dwarf() != "Spectral Methods" {
+		t.Fatal("metadata")
+	}
+	if got := b.ArgString("large"); got != "2097152" {
+		t.Fatalf("Table 3 args %q", got)
+	}
+	if _, err := b.New("odd", 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := NewInstance(1000, 1); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := NewInstance(1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func runFFT(t *testing.T, n int, seed int64) *Instance {
+	t.Helper()
+	ctx, q := newEnv(t)
+	inst, err := NewInstance(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestKernelMatchesSerialReference(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 2048} {
+		inst := runFFT(t, n, 5)
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAgainstDirectDFT(t *testing.T) {
+	// Independent O(N²) check of the serial reference itself.
+	const n = 32
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	dft := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k*j) / float64(n)
+			dft[k] += x[j] * cmplx.Exp(complex(0, angle))
+		}
+	}
+	fft := append([]complex128(nil), x...)
+	SerialFFT(fft)
+	for k := range dft {
+		if cmplx.Abs(fft[k]-dft[k]) > 1e-9 {
+			t.Fatalf("bin %d: FFT %v vs DFT %v", k, fft[k], dft[k])
+		}
+	}
+}
+
+func TestImpulseGivesFlatSpectrum(t *testing.T) {
+	x := make([]complex128, 16)
+	x[0] = 1
+	SerialFFT(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]complex128, 128)
+	orig := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+		orig[i] = x[i]
+	}
+	SerialFFT(x)
+	SerialIFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("sample %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+// Property: Parseval — energy preserved up to 1/N scaling.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]complex128, n)
+		timeE := 0.0
+		for i := range x {
+			x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		SerialFFT(x)
+		freqE := 0.0
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqE/float64(n)-timeE) < 1e-9*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — FFT(a·x + y) = a·FFT(x) + FFT(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64, aRaw int8) bool {
+		a := complex(float64(aRaw)/16, 0)
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		combo := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64(), rng.Float64())
+			y[i] = complex(rng.Float64(), rng.Float64())
+			combo[i] = a*x[i] + y[i]
+		}
+		SerialFFT(x)
+		SerialFFT(y)
+		SerialFFT(combo)
+		for i := range combo {
+			if cmplx.Abs(combo[i]-(a*x[i]+y[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchCountIsLogN(t *testing.T) {
+	ctx, q := newEnv(t)
+	inst, _ := NewInstance(2048, 1)
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	q.DrainEvents()
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	kernels := 0
+	for _, ev := range q.Events() {
+		if ev.Kind == opencl.CommandKernel {
+			kernels++
+		}
+	}
+	if kernels != 11 { // log2(2048)
+		t.Fatalf("%d kernel launches, want 11", kernels)
+	}
+	if inst.Passes() != 11 {
+		t.Fatalf("Passes() = %d", inst.Passes())
+	}
+}
+
+func TestRepeatedIterations(t *testing.T) {
+	ctx, q := newEnv(t)
+	inst, _ := NewInstance(256, 2)
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	var first []complex64
+	for i := 0; i < 2; i++ {
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = append([]complex64(nil), inst.Output()...)
+		}
+	}
+	for i := range first {
+		if first[i] != inst.Output()[i] {
+			t.Fatal("repeated transforms of the same input differ")
+		}
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintMatchesPaperSizing(t *testing.T) {
+	// tiny = 2048 points × 16 B = exactly the 32 KiB L1.
+	inst, _ := NewInstance(2048, 1)
+	if kib := inst.FootprintBytes() / 1024; kib != 32 {
+		t.Fatalf("tiny fft footprint %d KiB, want 32", kib)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	inst, _ := NewInstance(64, 1)
+	_, q := newEnv(t)
+	if err := inst.Iterate(q); err == nil {
+		t.Fatal("Iterate before Setup accepted")
+	}
+	if err := inst.Verify(); err == nil {
+		t.Fatal("Verify before Iterate accepted")
+	}
+}

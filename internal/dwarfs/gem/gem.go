@@ -1,0 +1,189 @@
+// Package gem implements the N-Body Methods dwarf: Gemnoui, which computes
+// the electrostatic potential of a biomolecular structure at each vertex of
+// its solvent-excluded surface by direct summation over all atomic partial
+// charges (§4.4.4). The paper's PDB-derived datasets (4TUT, 2D3V, the
+// OpenDwarfs nucleosome, 1KX5) are replaced by synthetic molecules with
+// identical device-side footprints — see internal/data and DESIGN.md.
+package gem
+
+import (
+	"fmt"
+	"math"
+
+	"opendwarfs/internal/cache"
+	"opendwarfs/internal/data"
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/sim"
+)
+
+// Benchmark is the suite entry.
+type Benchmark struct{}
+
+// New returns the benchmark.
+func New() *Benchmark { return &Benchmark{} }
+
+// Name implements dwarfs.Benchmark.
+func (*Benchmark) Name() string { return "gem" }
+
+// Dwarf implements dwarfs.Benchmark.
+func (*Benchmark) Dwarf() string { return "N-Body Methods" }
+
+// Sizes implements dwarfs.Benchmark.
+func (*Benchmark) Sizes() []string { return dwarfs.Sizes() }
+
+// ScaleParameter implements dwarfs.Benchmark (Table 2 lists the PDB IDs).
+func (*Benchmark) ScaleParameter(size string) string {
+	p, err := data.MoleculePresetFor(size)
+	if err != nil {
+		return ""
+	}
+	return p.PDBID
+}
+
+// ArgString implements dwarfs.Benchmark (Table 3: gem Φ 80 1 0).
+func (b *Benchmark) ArgString(size string) string {
+	return fmt.Sprintf("%s 80 1 0", b.ScaleParameter(size))
+}
+
+// New implements dwarfs.Benchmark.
+func (*Benchmark) New(size string, seed int64) (dwarfs.Instance, error) {
+	p, err := data.MoleculePresetFor(size)
+	if err != nil {
+		return nil, fmt.Errorf("gem: %w", err)
+	}
+	return NewInstance(data.GenerateMolecule(p, seed)), nil
+}
+
+// Instance is one configured potential computation.
+type Instance struct {
+	mol *data.Molecule
+
+	atomX, atomY, atomZ, atomQ []float32
+	vertX, vertY, vertZ        []float32
+	potential                  []float32
+	bufs                       []*opencl.Buffer
+
+	kernel *opencl.Kernel
+	ran    bool
+}
+
+// NewInstance builds an instance over a molecule.
+func NewInstance(mol *data.Molecule) *Instance { return &Instance{mol: mol} }
+
+// FootprintBytes implements dwarfs.Instance: four atom arrays, three vertex
+// arrays and the output potential (§4.4.4's reported usage).
+func (in *Instance) FootprintBytes() int64 { return in.mol.FootprintBytes() }
+
+// Setup implements dwarfs.Instance.
+func (in *Instance) Setup(ctx *opencl.Context, q *opencl.CommandQueue) error {
+	m := in.mol
+	allocF := func(name string, src []float32) []float32 {
+		b, s := opencl.NewBuffer[float32](ctx, name, len(src))
+		copy(s, src)
+		in.bufs = append(in.bufs, b)
+		q.EnqueueWrite(b)
+		return s
+	}
+	in.atomX = allocF("atom_x", m.AtomX)
+	in.atomY = allocF("atom_y", m.AtomY)
+	in.atomZ = allocF("atom_z", m.AtomZ)
+	in.atomQ = allocF("atom_q", m.AtomQ)
+	in.vertX = allocF("vert_x", m.VertX)
+	in.vertY = allocF("vert_y", m.VertY)
+	in.vertZ = allocF("vert_z", m.VertZ)
+	var potBuf *opencl.Buffer
+	potBuf, in.potential = opencl.NewBuffer[float32](ctx, "potential", m.Vertices())
+	in.bufs = append(in.bufs, potBuf)
+
+	in.kernel = &opencl.Kernel{
+		Name: "gem_potential",
+		Fn: func(wi *opencl.Item) {
+			v := wi.GlobalID(0)
+			in.potential[v] = potentialAt(
+				in.vertX[v], in.vertY[v], in.vertZ[v],
+				in.atomX, in.atomY, in.atomZ, in.atomQ)
+		},
+		Profile: in.profile,
+	}
+	return nil
+}
+
+// potentialAt sums q/r over all atoms (Coulomb, unit constants as in gem).
+func potentialAt(x, y, z float32, ax, ay, az, aq []float32) float32 {
+	sum := float32(0)
+	for a := range ax {
+		dx := x - ax[a]
+		dy := y - ay[a]
+		dz := z - az[a]
+		r := float32(math.Sqrt(float64(dx*dx + dy*dy + dz*dz)))
+		if r < 1e-6 {
+			r = 1e-6 // paper notes uninitialised/coincident data hazards; clamp
+		}
+		sum += aq[a] / r
+	}
+	return sum
+}
+
+// profile characterises the kernel: a dense O(V·A) sweep in which every
+// work-item re-reads the whole atom array — classic n-body with high
+// arithmetic intensity and strong temporal reuse of the atom tiles.
+func (in *Instance) profile(ndr opencl.NDRange) *sim.KernelProfile {
+	atoms := float64(in.mol.Atoms())
+	return &sim.KernelProfile{
+		Name:              "gem_potential",
+		WorkItems:         ndr.TotalItems(),
+		FlopsPerItem:      11 * atoms, // 3 sub, 3 mul, 2 add, sqrt(~2), div
+		IntOpsPerItem:     atoms,
+		LoadBytesPerItem:  16*atoms + 12,
+		StoreBytesPerItem: 4,
+		WorkingSetBytes:   in.FootprintBytes(),
+		Pattern:           cache.Streaming,
+		TemporalReuse:     0.95, // atom arrays resident across vertices
+		Vectorizable:      true,
+	}
+}
+
+// Iterate implements dwarfs.Instance: one full potential evaluation.
+func (in *Instance) Iterate(q *opencl.CommandQueue) error {
+	if in.kernel == nil {
+		return fmt.Errorf("gem: Iterate before Setup")
+	}
+	nv := in.mol.Vertices()
+	local := 64
+	for nv%local != 0 {
+		local /= 2
+	}
+	if _, err := q.EnqueueNDRange(in.kernel, opencl.NDR1(nv, local)); err != nil {
+		return err
+	}
+	in.ran = true
+	return nil
+}
+
+// Potential returns the computed surface potential.
+func (in *Instance) Potential() []float32 { return in.potential }
+
+// Verify implements dwarfs.Instance: the serial reference uses the same
+// summation order, so a sample of vertices must match exactly; the total
+// charge-weighted potential is also checked for finiteness.
+func (in *Instance) Verify() error {
+	if !in.ran {
+		return fmt.Errorf("gem: Verify before Iterate")
+	}
+	nv := in.mol.Vertices()
+	step := 1
+	if nv > 4096 {
+		step = nv / 4096
+	}
+	for v := 0; v < nv; v += step {
+		want := potentialAt(in.vertX[v], in.vertY[v], in.vertZ[v], in.atomX, in.atomY, in.atomZ, in.atomQ)
+		if want != in.potential[v] {
+			return fmt.Errorf("gem: vertex %d potential %g, reference %g", v, in.potential[v], want)
+		}
+		if math.IsNaN(float64(in.potential[v])) || math.IsInf(float64(in.potential[v]), 0) {
+			return fmt.Errorf("gem: vertex %d potential is not finite", v)
+		}
+	}
+	return nil
+}

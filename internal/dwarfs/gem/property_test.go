@@ -1,0 +1,132 @@
+package gem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/data"
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("gtx1080")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func randomMolecule(atoms, verts int, seed int64) *data.Molecule {
+	rng := rand.New(rand.NewSource(seed))
+	m := &data.Molecule{
+		Name:  "rand",
+		AtomX: make([]float32, atoms), AtomY: make([]float32, atoms),
+		AtomZ: make([]float32, atoms), AtomQ: make([]float32, atoms),
+		VertX: make([]float32, verts), VertY: make([]float32, verts),
+		VertZ: make([]float32, verts),
+	}
+	for i := 0; i < atoms; i++ {
+		m.AtomX[i] = float32(rng.Float64()*10 - 5)
+		m.AtomY[i] = float32(rng.Float64()*10 - 5)
+		m.AtomZ[i] = float32(rng.Float64()*10 - 5)
+		m.AtomQ[i] = float32(rng.Float64()*2 - 1)
+	}
+	for i := 0; i < verts; i++ {
+		// Keep vertices on a far shell so r is never near zero.
+		x, y, z := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		n := math.Sqrt(x*x+y*y+z*z) + 1e-9
+		m.VertX[i] = float32(x / n * 20)
+		m.VertY[i] = float32(y / n * 20)
+		m.VertZ[i] = float32(z / n * 20)
+	}
+	return m
+}
+
+func run(m *data.Molecule) []float32 {
+	ctx, q := quickEnv()
+	inst := NewInstance(m)
+	if err := inst.Setup(ctx, q); err != nil {
+		return nil
+	}
+	if err := inst.Iterate(q); err != nil {
+		return nil
+	}
+	out := make([]float32, len(inst.Potential()))
+	copy(out, inst.Potential())
+	return out
+}
+
+// Property: superposition — doubling every charge doubles the potential.
+func TestChargeLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomMolecule(40, 64, seed)
+		base := run(m)
+		doubled := randomMolecule(40, 64, seed)
+		for i := range doubled.AtomQ {
+			doubled.AtomQ[i] *= 2
+		}
+		twice := run(doubled)
+		if base == nil || twice == nil {
+			return false
+		}
+		for i := range base {
+			if math.Abs(float64(twice[i]-2*base[i])) > 1e-4*(1+math.Abs(float64(2*base[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: translation invariance — shifting atoms and vertices together
+// leaves the potential unchanged (r depends only on differences).
+func TestTranslationInvarianceProperty(t *testing.T) {
+	f := func(seed int64, dxRaw int8) bool {
+		dx := float32(dxRaw) / 8
+		a := randomMolecule(32, 48, seed)
+		b := randomMolecule(32, 48, seed)
+		for i := range b.AtomX {
+			b.AtomX[i] += dx
+		}
+		for i := range b.VertX {
+			b.VertX[i] += dx
+		}
+		pa, pb := run(a), run(b)
+		if pa == nil || pb == nil {
+			return false
+		}
+		for i := range pa {
+			if math.Abs(float64(pa[i]-pb[i])) > 2e-3*(1+math.Abs(float64(pa[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: far-field decay — a vertex twice as far from a monopole sees
+// half the potential.
+func TestInverseDistanceProperty(t *testing.T) {
+	mol := &data.Molecule{
+		Name:  "monopole",
+		AtomX: []float32{0}, AtomY: []float32{0}, AtomZ: []float32{0}, AtomQ: []float32{3},
+		VertX: []float32{5, 10}, VertY: []float32{0, 0}, VertZ: []float32{0, 0},
+	}
+	p := run(mol)
+	if p == nil {
+		t.Fatal("run failed")
+	}
+	if math.Abs(float64(p[0]-2*p[1])) > 1e-5 {
+		t.Fatalf("1/r decay violated: %f vs 2x%f", p[0], p[1])
+	}
+}

@@ -1,0 +1,125 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("e5-2697v2")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func runHMM(n, s int, seed int64) *Instance {
+	ctx, q := quickEnv()
+	if ctx == nil {
+		return nil
+	}
+	inst, err := NewInstance(n, s, seed)
+	if err != nil {
+		return nil
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		return nil
+	}
+	if err := inst.Iterate(q); err != nil {
+		return nil
+	}
+	return inst
+}
+
+// Property: Baum-Welch kernels match the serial replay for arbitrary model
+// shapes.
+func TestKernelSerialAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw, sRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		s := int(sRaw)%6 + 1
+		inst := runHMM(n, s, seed)
+		return inst != nil && inst.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaled forward variables are a probability distribution at
+// every time step (each alpha row sums to one after rescaling).
+func TestAlphaRowsNormalisedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := runHMM(16, 3, seed)
+		if inst == nil {
+			return false
+		}
+		for step := 0; step < T; step++ {
+			sum := float64(0)
+			for i := 0; i < 16; i++ {
+				sum += float64(inst.alpha[step*16+i])
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: state posteriors sum to one at every step (gamma is a proper
+// distribution given alpha·beta scaling).
+func TestGammaRowsNormalisedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := runHMM(12, 2, seed)
+		if inst == nil {
+			return false
+		}
+		for step := 0; step < T; step++ {
+			sum := float64(0)
+			for i := 0; i < 12; i++ {
+				sum += float64(inst.gamma[step*12+i])
+			}
+			if math.Abs(sum-1) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: updated parameters are valid probabilities — no negative or
+// NaN entries anywhere in A or B.
+func TestUpdatedParametersValidProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%24 + 2
+		inst := runHMM(n, 4, seed)
+		if inst == nil {
+			return false
+		}
+		for _, v := range inst.a {
+			if v < 0 || v > 1.0001 || math.IsNaN(float64(v)) {
+				return false
+			}
+		}
+		for _, v := range inst.b {
+			if v < 0 || v > 1.0001 || math.IsNaN(float64(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("i7-6700k")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+// Property: kernel assignments agree with the serial replay for arbitrary
+// (small) configurations, not just Table 2 ones.
+func TestAssignmentAgreementProperty(t *testing.T) {
+	f := func(seed int64, pRaw, fRaw, cRaw uint8) bool {
+		points := int(pRaw)%200 + 8
+		features := int(fRaw)%12 + 1
+		clusters := int(cRaw)%4 + 2
+		if clusters > points {
+			clusters = points
+		}
+		ctx, q := quickEnv()
+		if ctx == nil {
+			return false
+		}
+		inst := NewInstance(points, features, clusters, seed)
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		for i := 0; i < 3 && !inst.Converged(); i++ {
+			if err := inst.Iterate(q); err != nil {
+				return false
+			}
+		}
+		return inst.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after an update, every non-empty centroid is the mean of its
+// members (the defining k-means invariant).
+func TestCentroidIsMemberMean(t *testing.T) {
+	ctx, q := quickEnv()
+	inst := NewInstance(300, 6, 4, 99)
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	sums := make([]float64, 4*6)
+	for p, m := range inst.membership {
+		counts[m]++
+		for f := 0; f < 6; f++ {
+			sums[int(m)*6+f] += float64(inst.feature[p*6+f])
+		}
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for f := 0; f < 6; f++ {
+			want := sums[c*6+f] / float64(counts[c])
+			got := float64(inst.centroids[c*6+f])
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("centroid %d feature %d = %f, member mean %f", c, f, got, want)
+			}
+		}
+	}
+}
+
+// Property: within-cluster distance never exceeds the distance to any other
+// centroid (each point really is assigned to its closest centroid).
+func TestAssignmentOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ctx, q := quickEnv()
+		inst := NewInstance(128, 4, 3, seed)
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		dist := func(p, c int) float64 {
+			d := 0.0
+			for f := 0; f < 4; f++ {
+				diff := float64(inst.feature[p*4+f] - inst.centroids[c*4+f])
+				d += diff * diff
+			}
+			return d
+		}
+		// Memberships are optimal w.r.t. the centroids the kernel saw; at
+		// convergence those equal the current centroids, making the
+		// invariant exactly checkable.
+		for i := 0; i < 200 && !inst.Converged(); i++ {
+			if err := inst.Iterate(q); err != nil {
+				return false
+			}
+		}
+		if !inst.Converged() {
+			return true // property only defined at the fixed point
+		}
+		for p := 0; p < 128; p++ {
+			own := dist(p, int(inst.membership[p]))
+			for c := 0; c < 3; c++ {
+				if dist(p, c) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

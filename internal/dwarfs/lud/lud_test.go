@@ -1,0 +1,164 @@
+package lud
+
+import (
+	"testing"
+
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/opencl"
+)
+
+func newEnv(t *testing.T) (*opencl.Context, *opencl.CommandQueue) {
+	t.Helper()
+	dev, err := opencl.LookupDevice("i7-6700k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func TestMetadata(t *testing.T) {
+	b := New()
+	if b.Name() != "lud" || b.Dwarf() != "Dense Linear Algebra" {
+		t.Fatal("metadata")
+	}
+	if got := b.ArgString("medium"); got != "-s 1440" {
+		t.Fatalf("Table 3 args %q", got)
+	}
+	if _, err := b.New("giga", 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := NewInstance(100, 1); err == nil {
+		t.Fatal("non-multiple-of-16 dimension accepted")
+	}
+	if _, err := NewInstance(0, 1); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+}
+
+func TestDecompositionTiny(t *testing.T) {
+	// Table 2 tiny: 80×80.
+	ctx, q := newEnv(t)
+	inst, err := New().New(dwarfs.SizeTiny, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := dwarfs.CheckFootprint(inst, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompositionSmall(t *testing.T) {
+	ctx, q := newEnv(t)
+	inst, err := New().New(dwarfs.SizeSmall, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBlockMatrix(t *testing.T) {
+	// n = B: only the diagonal kernel runs.
+	ctx, q := newEnv(t)
+	inst, err := NewInstance(B, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedIterationsRestoreInput(t *testing.T) {
+	// Iterate destroys the matrix in place; a second Iterate must restore
+	// and still verify.
+	ctx, q := newEnv(t)
+	inst, err := NewInstance(2*B, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchCount(t *testing.T) {
+	// The wavefront structure issues 3·nb−2 kernels: nb diagonal, nb−1
+	// perimeter, nb−1 internal.
+	ctx, q := newEnv(t)
+	inst, err := NewInstance(5*B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	q.DrainEvents()
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	kernels := 0
+	for _, ev := range q.Events() {
+		if ev.Kind == opencl.CommandKernel {
+			kernels++
+		}
+	}
+	if want := 3*5 - 2; kernels != want {
+		t.Fatalf("%d kernel launches, want %d", kernels, want)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	inst, _ := NewInstance(240, 1)
+	if got := inst.FootprintBytes(); got != 240*240*4 {
+		t.Fatalf("footprint %d", got)
+	}
+	// Table 2 medium (1440) must fit L3 (8 MiB): 1440²·4 = 7.9 MiB.
+	m, _ := NewInstance(1440, 1)
+	if kib := m.FootprintBytes() / 1024; kib > 8192 {
+		t.Fatalf("medium %d KiB exceeds L3", kib)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	inst, _ := NewInstance(B, 1)
+	_, q := newEnv(t)
+	if err := inst.Iterate(q); err == nil {
+		t.Fatal("Iterate before Setup accepted")
+	}
+	if err := inst.Verify(); err == nil {
+		t.Fatal("Verify before Iterate accepted")
+	}
+}

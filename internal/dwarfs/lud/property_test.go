@@ -1,0 +1,74 @@
+package lud
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("i7-6700k")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+// Property: the blocked decomposition reconstructs random diagonally
+// dominant matrices at arbitrary block multiples.
+func TestDecompositionProperty(t *testing.T) {
+	f := func(seed int64, nbRaw uint8) bool {
+		nb := int(nbRaw)%4 + 1 // 16..64
+		ctx, q := quickEnv()
+		if ctx == nil {
+			return false
+		}
+		inst, err := NewInstance(nb*B, seed)
+		if err != nil {
+			return false
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		return inst.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the factored matrix carries a unit-free lower triangle — every
+// L entry must be finite and the diagonal of U nonzero (no pivot collapse
+// on diagonally dominant inputs).
+func TestPivotsNonZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ctx, q := quickEnv()
+		inst, err := NewInstance(3*B, seed)
+		if err != nil || ctx == nil {
+			return false
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		n := inst.n
+		for k := 0; k < n; k++ {
+			piv := inst.m[k*n+k]
+			if piv == 0 || piv != piv { // zero or NaN
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

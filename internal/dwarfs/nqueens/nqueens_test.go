@@ -1,0 +1,198 @@
+package nqueens
+
+import (
+	"testing"
+
+	"opendwarfs/internal/opencl"
+)
+
+func newEnv(t *testing.T) (*opencl.Context, *opencl.CommandQueue) {
+	t.Helper()
+	dev, err := opencl.LookupDevice("titanx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func TestMetadata(t *testing.T) {
+	b := New()
+	if b.Name() != "nqueens" || b.Dwarf() != "Backtrack & Branch and Bound" {
+		t.Fatal("metadata")
+	}
+	// §4.4.4: only one problem size is tested.
+	if got := b.Sizes(); len(got) != 1 {
+		t.Fatalf("nqueens sizes %v, want exactly one", got)
+	}
+	if got := b.ArgString("tiny"); got != "18" {
+		t.Fatalf("Table 3 args %q", got)
+	}
+	if _, err := b.New("large", 1); err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+	if _, err := NewInstance(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewInstance(64); err == nil {
+		t.Fatal("n>31 accepted")
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	// Functional verification at the paper-relevant scales a host can
+	// count: every value against OEIS A000170.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12} {
+		ctx, q := newEnv(t)
+		inst, err := NewInstance(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if inst.Solutions() != KnownSolutions[n] {
+			t.Fatalf("n=%d: %d solutions, want %d", n, inst.Solutions(), KnownSolutions[n])
+		}
+	}
+}
+
+func TestN13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=13 takes a moment")
+	}
+	ctx, q := newEnv(t)
+	inst, _ := NewInstance(13)
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixPartitionIsExact(t *testing.T) {
+	// The prefixes must partition the search space: the number of prefixes
+	// equals the number of legal placements of the first PrefixRows rows,
+	// counted independently row by row. (Distinct placements may share
+	// attack masks, so mask-uniqueness is NOT an invariant — each entry is
+	// its own subtree.)
+	n := 8
+	pre := enumeratePrefixes(n, PrefixRows)
+	var count func(row int, cols, dl, dr uint32) int
+	full := uint32(1)<<uint(n) - 1
+	count = func(row int, cols, dl, dr uint32) int {
+		if row == PrefixRows {
+			return 1
+		}
+		total := 0
+		avail := full &^ (cols | dl | dr)
+		for avail != 0 {
+			bit := avail & (-avail)
+			avail ^= bit
+			total += count(row+1, cols|bit, (dl|bit)<<1&full, (dr|bit)>>1)
+		}
+		return total
+	}
+	if want := count(0, 0, 0, 0); len(pre) != want {
+		t.Fatalf("%d prefixes, want %d", len(pre), want)
+	}
+}
+
+func TestNodeModel(t *testing.T) {
+	// The timing model's node estimate must track the true bitmask search
+	// tree within a factor of 2 for the sizes we can measure.
+	for _, n := range []int{8, 10, 12} {
+		var nodes uint64
+		var count func(full, cols, dl, dr uint32)
+		count = func(full, cols, dl, dr uint32) {
+			nodes++
+			if cols == full {
+				return
+			}
+			avail := full &^ (cols | dl | dr)
+			for avail != 0 {
+				bit := avail & (-avail)
+				avail ^= bit
+				count(full, cols|bit, (dl|bit)<<1&full, (dr|bit)>>1)
+			}
+		}
+		full := uint32(1)<<uint(n) - 1
+		count(full, 0, 0, 0)
+		est := EstimatedNodes(n)
+		ratio := est / float64(nodes)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("n=%d: estimated %.0f nodes, measured %d (ratio %.2f)", n, est, nodes, ratio)
+		}
+	}
+}
+
+func TestSimulateOnlyPath(t *testing.T) {
+	// n=18 runs simulate-only in the harness; the profile must be valid
+	// and produce a plausible compute-bound launch.
+	ctx, q := newEnv(t)
+	inst, _ := NewInstance(PaperN)
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	q.SetSimulateOnly(true)
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	evs := q.Events()
+	var kernelNs float64
+	for _, ev := range evs {
+		if ev.Kind == opencl.CommandKernel {
+			kernelNs += ev.DurationNs()
+			if err := ev.Profile.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Fig. 4b shows n=18 in the 0.1–1.2 ms band per iteration across
+	// devices; demand the right order of magnitude on a Titan X.
+	if kernelNs < 1e4 || kernelNs > 1e10 {
+		t.Fatalf("n=18 simulated kernel time %.0f ns implausible", kernelNs)
+	}
+}
+
+func TestFootprintScalesSlowly(t *testing.T) {
+	// §4.4.4: "memory footprint scales very slowly with increasing number
+	// of queens, relative to the computational cost."
+	a, _ := NewInstance(12)
+	b, _ := NewInstance(18)
+	ctxA, qA := newEnv(t)
+	if err := a.Setup(ctxA, qA); err != nil {
+		t.Fatal(err)
+	}
+	ctxB, qB := newEnv(t)
+	if err := b.Setup(ctxB, qB); err != nil {
+		t.Fatal(err)
+	}
+	memRatio := float64(b.FootprintBytes()) / float64(a.FootprintBytes())
+	workRatio := EstimatedNodes(18) / EstimatedNodes(12)
+	if memRatio*50 > workRatio {
+		t.Fatalf("footprint ratio %.1f vs work ratio %.1f: not compute-bound", memRatio, workRatio)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	inst, _ := NewInstance(8)
+	_, q := newEnv(t)
+	if err := inst.Iterate(q); err == nil {
+		t.Fatal("Iterate before Setup accepted")
+	}
+	if err := inst.Verify(); err == nil {
+		t.Fatal("Verify before Iterate accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package nqueens
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/opencl"
+)
+
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("titanx")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+// Property: the prefix-partitioned parallel count equals the monolithic
+// serial count for every board size a quick check can afford.
+func TestPartitionedCountEqualsSerialProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%8 + 4 // 4..11
+		ctx, q := quickEnv()
+		if ctx == nil {
+			return false
+		}
+		inst, err := NewInstance(n)
+		if err != nil {
+			return false
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		full := uint32(1)<<uint(n) - 1
+		return inst.Solutions() == solve(full, 0, 0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-prefix counts are consistent — no prefix can contribute
+// more solutions than the whole board has.
+func TestPerPrefixBounds(t *testing.T) {
+	ctx, q := quickEnv()
+	inst, err := NewInstance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Iterate(q); err != nil {
+		t.Fatal(err)
+	}
+	total := KnownSolutions[9]
+	for i, c := range inst.counts {
+		if c > total {
+			t.Fatalf("prefix %d claims %d solutions of %d total", i, c, total)
+		}
+	}
+}
+
+// Property: solution counts are invariant under board mirroring of the
+// first-row choice; equivalently, the count over prefixes whose first queen
+// sits in column c equals the count for column n−1−c.
+func TestMirrorSymmetry(t *testing.T) {
+	n := 8
+	full := uint32(1)<<uint(n) - 1
+	countFirstCol := func(c int) uint64 {
+		bit := uint32(1) << uint(c)
+		return solve(full, bit, bit<<1&full, bit>>1)
+	}
+	for c := 0; c < n/2; c++ {
+		a := countFirstCol(c)
+		b := countFirstCol(n - 1 - c)
+		if a != b {
+			t.Fatalf("column %d count %d != mirrored column %d count %d", c, a, n-1-c, b)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package srad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opendwarfs/internal/opencl"
+)
+
+// quickEnv builds a context/queue pair without a testing.T, for use inside
+// testing/quick property functions.
+func quickEnv() (*opencl.Context, *opencl.CommandQueue) {
+	dev, err := opencl.LookupDevice("i7-6700k")
+	if err != nil {
+		return nil, nil
+	}
+	ctx, _ := opencl.NewContext(dev)
+	q, _ := opencl.NewQueue(ctx, dev)
+	return ctx, q
+}
+
+func TestConstantImageStable(t *testing.T) {
+	// A homogeneous image has no speckle; diffusion must leave it exactly
+	// in place rather than NaN-poisoning the grid (the robustness guard).
+	ctx, q := newEnv(t)
+	inst, err := NewInstance(32, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inst.originalJ {
+		inst.originalJ[i] = 2.5
+	}
+	if err := inst.Setup(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 3; it++ {
+		if err := inst.Iterate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range inst.Grid() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("cell %d is %f after diffusing a constant image", i, v)
+		}
+		if v != 2.5 {
+			t.Fatalf("constant image drifted: cell %d = %f", i, v)
+		}
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diffusion keeps the grid finite and positive for arbitrary
+// seeds and geometries.
+func TestDiffusionFiniteProperty(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw)%30 + 2
+		cols := int(cRaw)%30 + 2
+		ctx, q := quickEnv()
+		if ctx == nil {
+			return false
+		}
+		inst, err := NewInstance(rows, cols, seed)
+		if err != nil {
+			return false
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		for it := 0; it < 3; it++ {
+			if err := inst.Iterate(q); err != nil {
+				return false
+			}
+		}
+		for _, v := range inst.Grid() {
+			fv := float64(v)
+			if math.IsNaN(fv) || math.IsInf(fv, 0) || fv <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: kernel execution matches the serial replay for arbitrary
+// geometries (not just the Table 2 ones).
+func TestKernelSerialAgreementProperty(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw)%20 + 2
+		cols := int(cRaw)%20 + 2
+		ctx, q := quickEnv()
+		inst, err := NewInstance(rows, cols, seed)
+		if err != nil || ctx == nil {
+			return false
+		}
+		if err := inst.Setup(ctx, q); err != nil {
+			return false
+		}
+		if err := inst.Iterate(q); err != nil {
+			return false
+		}
+		return inst.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/opencl"
+)
+
+// GridSpec selects a slice of the benchmark × size × device space.
+type GridSpec struct {
+	// Benchmarks by name; empty = the whole suite.
+	Benchmarks []string
+	// Sizes; empty = every size the benchmark supports.
+	Sizes []string
+	// Devices by catalogue ID; empty = all 15 platforms.
+	Devices []string
+	Options Options
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// Grid is a collection of measurements with lookup helpers — the data
+// behind every figure in the paper.
+type Grid struct {
+	Measurements []*Measurement
+}
+
+// RunGrid measures every selected cell.
+func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
+	benches := reg.All()
+	if len(spec.Benchmarks) > 0 {
+		benches = benches[:0:0]
+		for _, name := range spec.Benchmarks {
+			b, err := reg.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, b)
+		}
+	}
+	var devices []*opencl.Device
+	if len(spec.Devices) == 0 {
+		devices = opencl.AllDevices()
+	} else {
+		for _, id := range spec.Devices {
+			d, err := opencl.LookupDevice(id)
+			if err != nil {
+				return nil, err
+			}
+			devices = append(devices, d)
+		}
+	}
+
+	g := &Grid{}
+	for _, b := range benches {
+		sizes := b.Sizes()
+		if len(spec.Sizes) > 0 {
+			sizes = sizes[:0:0]
+			for _, s := range spec.Sizes {
+				if !supportsSize(b, s) {
+					continue
+				}
+				sizes = append(sizes, s)
+			}
+		}
+		for _, size := range sizes {
+			for _, dev := range devices {
+				m, err := Run(b, size, dev, spec.Options)
+				if err != nil {
+					return nil, fmt.Errorf("harness: grid cell %s/%s/%s: %w", b.Name(), size, dev.ID(), err)
+				}
+				g.Measurements = append(g.Measurements, m)
+				if spec.Progress != nil {
+					fmt.Fprintf(spec.Progress, "%-8s %-7s %-12s median %12.3f ms  CV %5.3f  energy %8.3f J%s\n",
+						m.Benchmark, m.Size, m.Device.ID,
+						m.Kernel.Median/1e6, m.Kernel.CV, m.Energy.Median, verifiedTag(m))
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func verifiedTag(m *Measurement) string {
+	switch {
+	case m.Verified:
+		return "  [verified]"
+	case m.Functional:
+		return "  [functional]"
+	default:
+		return "  [simulated]"
+	}
+}
+
+func supportsSize(b dwarfs.Benchmark, size string) bool {
+	for _, s := range b.Sizes() {
+		if s == size {
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns the measurement for a cell, or nil.
+func (g *Grid) Find(bench, size, deviceID string) *Measurement {
+	for _, m := range g.Measurements {
+		if m.Benchmark == bench && m.Size == size && m.Device.ID == deviceID {
+			return m
+		}
+	}
+	return nil
+}
+
+// ByBenchmark returns all measurements of one benchmark, grid order.
+func (g *Grid) ByBenchmark(bench string) []*Measurement {
+	var out []*Measurement
+	for _, m := range g.Measurements {
+		if m.Benchmark == bench {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Merge absorbs another grid's measurements.
+func (g *Grid) Merge(o *Grid) {
+	g.Measurements = append(g.Measurements, o.Measurements...)
+}

@@ -1,0 +1,240 @@
+// Package harness drives suite measurements with the paper's methodology
+// (§4.3): each benchmark runs in a loop until at least two (simulated)
+// seconds have elapsed, the mean kernel time of the loop forms one sample,
+// and 50 samples are collected per benchmark × size × device group, with
+// energy and PAPI-style counters recorded alongside.
+//
+// Functional-versus-simulated policy: every configuration first runs one
+// simulate-only iteration to characterise its kernels; if the total
+// operation count fits the functional budget, a real (executing) iteration
+// follows and the result is verified against the benchmark's serial
+// reference. Oversized configurations (lud 4096, nqueens 18, …) keep the
+// timing model only — their kernels are verified at the largest size that
+// fits the budget. See DESIGN.md §2.
+package harness
+
+import (
+	"fmt"
+
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/papi"
+	"opendwarfs/internal/power"
+	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/sim"
+)
+
+// Options configures a measurement run.
+type Options struct {
+	// Samples per group; the paper uses 50 (§4.3).
+	Samples int
+	// MinLoopNs is the minimum simulated duration of one measurement loop;
+	// the paper uses two seconds.
+	MinLoopNs float64
+	// MaxLoopIters caps loop iterations for very short kernels.
+	MaxLoopIters int
+	// MaxFunctionalOps is the operation budget above which functional
+	// execution is skipped in favour of simulate-only timing.
+	MaxFunctionalOps float64
+	// Verify requests serial-reference verification after functional runs.
+	Verify bool
+	// Seed drives dataset generation.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's methodology parameters.
+func DefaultOptions() Options {
+	return Options{
+		Samples:          scibench.PaperSampleSize(),
+		MinLoopNs:        2e9,
+		MaxLoopIters:     1 << 20,
+		MaxFunctionalOps: 3e8,
+		Verify:           true,
+		Seed:             1,
+	}
+}
+
+// Measurement is the result of one benchmark × size × device group.
+type Measurement struct {
+	Benchmark string
+	Dwarf     string
+	Size      string
+	Device    *sim.DeviceSpec
+
+	// Functional reports whether kernels actually executed (vs timing
+	// model only); Verified whether the serial reference check passed.
+	Functional bool
+	Verified   bool
+
+	// Iterations is the per-sample loop length chosen to cover MinLoopNs.
+	Iterations int
+	// FootprintBytes is the verified device-side memory usage (Eq. 1).
+	FootprintBytes int64
+	// KernelLaunches is the number of kernel enqueues per iteration.
+	KernelLaunches int
+
+	// Per-sample observations (len == Options.Samples).
+	KernelNs   []float64
+	TransferNs []float64
+	EnergyJ    []float64
+
+	// Summaries of the above.
+	Kernel   scibench.Summary
+	Transfer scibench.Summary
+	Energy   scibench.Summary
+
+	// Counters aggregates the PAPI-style events of one iteration.
+	Counters papi.Set
+	// MeterScope names the energy measurement path (RAPL vs NVML).
+	MeterScope power.Scope
+	// Profiles holds one workload profile per distinct kernel of the
+	// benchmark, in first-launch order — the input to AIWC analysis (§7).
+	Profiles []*sim.KernelProfile
+	// Diagnostics screens the kernel-time samples (normality,
+	// autocorrelation, outliers) before the parametric statistics above
+	// are trusted.
+	Diagnostics scibench.Diagnostics
+}
+
+// Run measures one benchmark × size × device group.
+func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (*Measurement, error) {
+	if opt.Samples <= 0 || opt.MinLoopNs <= 0 {
+		return nil, fmt.Errorf("harness: non-positive sampling options")
+	}
+	inst, err := bench.New(size, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := opencl.NewContext(dev)
+	if err != nil {
+		return nil, err
+	}
+	q, err := opencl.NewQueue(ctx, dev)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Measurement{
+		Benchmark: bench.Name(),
+		Dwarf:     bench.Dwarf(),
+		Size:      size,
+		Device:    dev.Spec,
+	}
+
+	// Host setup + initial transfers.
+	if err := inst.Setup(ctx, q); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s setup: %w", bench.Name(), size, err)
+	}
+	if err := dwarfs.CheckFootprint(inst, ctx); err != nil {
+		return nil, err
+	}
+	m.FootprintBytes = inst.FootprintBytes()
+	q.DrainEvents()
+
+	// Characterisation pass: simulate-only, to cost the configuration.
+	q.SetSimulateOnly(true)
+	if err := inst.Iterate(q); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s characterisation: %w", bench.Name(), size, err)
+	}
+	events := q.DrainEvents()
+	totalOps := 0.0
+	for _, ev := range events {
+		if ev.Kind == opencl.CommandKernel {
+			totalOps += ev.Profile.TotalOps()
+			m.KernelLaunches++
+		}
+	}
+
+	// Functional pass within budget; its events replace the estimate
+	// (identical profiles, but the run is the one that gets verified).
+	if totalOps <= opt.MaxFunctionalOps {
+		q.SetSimulateOnly(false)
+		q.ResetTimeline()
+		if err := inst.Iterate(q); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s execution: %w", bench.Name(), size, err)
+		}
+		events = q.DrainEvents()
+		m.Functional = true
+		if opt.Verify {
+			if err := inst.Verify(); err != nil {
+				return nil, fmt.Errorf("harness: %s/%s verification: %w", bench.Name(), size, err)
+			}
+			m.Verified = true
+		}
+	}
+
+	// Per-iteration means from the event timeline.
+	kernelNs := opencl.KernelNs(events)
+	transferNs := opencl.TransferNs(events)
+	if kernelNs <= 0 {
+		return nil, fmt.Errorf("harness: %s/%s produced no kernel time", bench.Name(), size)
+	}
+
+	// Energy and counters per iteration.
+	meter := power.NewMeter(dev.Spec)
+	m.MeterScope = meter.Scope
+	model := dev.Model()
+	energyJ := 0.0
+	seenKernels := map[string]bool{}
+	for _, ev := range events {
+		if ev.Kind != opencl.CommandKernel {
+			continue
+		}
+		energyJ += meter.KernelEnergy(model, ev.Breakdown)
+		m.Counters.Add(papi.Derive(dev.Spec, ev.Profile, ev.Breakdown.Traffic, ev.Breakdown.TotalNs))
+		if !seenKernels[ev.Name] {
+			seenKernels[ev.Name] = true
+			m.Profiles = append(m.Profiles, ev.Profile)
+		}
+	}
+
+	// ≥2 s measurement loop (§4.3), in simulated time.
+	iters := int(opt.MinLoopNs/kernelNs) + 1
+	if iters > opt.MaxLoopIters {
+		iters = opt.MaxLoopIters
+	}
+	m.Iterations = iters
+
+	noise := sim.NewNoise(dev.Spec, bench.Name()+"/"+size)
+	m.KernelNs = make([]float64, opt.Samples)
+	m.TransferNs = make([]float64, opt.Samples)
+	m.EnergyJ = make([]float64, opt.Samples)
+	sigma := meter.Scope.SensorSigmaW()
+	for s := 0; s < opt.Samples; s++ {
+		m.KernelNs[s] = noise.Sample(kernelNs, iters)
+		m.TransferNs[s] = noise.Sample(transferNs, iters)
+		m.EnergyJ[s] = noise.SampleEnergy(energyJ, kernelNs*1e-9, sigma)
+	}
+	m.Kernel = scibench.Summarize(m.KernelNs)
+	if transferNs > 0 {
+		m.Transfer = scibench.Summarize(m.TransferNs)
+	}
+	m.Energy = scibench.Summarize(m.EnergyJ)
+	// Sample health screen (Hoefler & Belli rules): the parametric CI in
+	// Kernel is only defensible when the samples pass these.
+	m.Diagnostics = scibench.Diagnose(m.KernelNs)
+	return m, nil
+}
+
+// Records converts a measurement into LibSciBench-style sample records for
+// CSV/JSONL logging.
+func (m *Measurement) Records() []scibench.Record {
+	recs := make([]scibench.Record, 0, 2*len(m.KernelNs))
+	counters := map[string]float64{}
+	for k, v := range m.Counters.Values {
+		counters[string(k)] = v
+	}
+	for s := range m.KernelNs {
+		recs = append(recs, scibench.Record{
+			Benchmark: m.Benchmark, Size: m.Size, Device: m.Device.ID,
+			Class: m.Device.Class.String(), Region: "kernel", Sample: s,
+			TimeNs: m.KernelNs[s], EnergyJ: m.EnergyJ[s], Counters: counters,
+		})
+		recs = append(recs, scibench.Record{
+			Benchmark: m.Benchmark, Size: m.Size, Device: m.Device.ID,
+			Class: m.Device.Class.String(), Region: "transfer", Sample: s,
+			TimeNs: m.TransferNs[s],
+		})
+	}
+	return recs
+}

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/suite"
+)
+
+func device(t *testing.T, id string) *opencl.Device {
+	t.Helper()
+	d, err := opencl.LookupDevice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Samples = 10
+	return o
+}
+
+func TestRunFunctionalVerified(t *testing.T) {
+	reg := suite.New()
+	b, err := reg.Get("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(b, "tiny", device(t, "i7-6700k"), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Functional || !m.Verified {
+		t.Fatalf("tiny kmeans should run functionally and verify: %+v", m)
+	}
+	if len(m.KernelNs) != 10 {
+		t.Fatalf("%d samples, want 10", len(m.KernelNs))
+	}
+	if m.Kernel.Mean <= 0 || m.Energy.Mean <= 0 {
+		t.Fatal("no kernel time or energy recorded")
+	}
+	if m.Iterations < 2 {
+		t.Fatalf("a microsecond kernel must loop many times to cover 2 s, got %d", m.Iterations)
+	}
+	if m.Counters.Values == nil || m.Counters.IPC <= 0 {
+		t.Fatal("counters not derived")
+	}
+	if m.FootprintBytes <= 0 {
+		t.Fatal("footprint not recorded")
+	}
+}
+
+func TestRunSimulateOnlyAboveBudget(t *testing.T) {
+	reg := suite.New()
+	b, _ := reg.Get("nqueens")
+	opt := quickOpts()
+	m, err := Run(b, "tiny", device(t, "gtx1080"), opt) // n=18: huge op count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Functional {
+		t.Fatal("n=18 nqueens must not execute functionally under the default budget")
+	}
+	if m.Kernel.Mean <= 0 {
+		t.Fatal("simulate-only run must still produce timing")
+	}
+}
+
+func TestRunEveryBenchmarkTinyFunctional(t *testing.T) {
+	// Every dwarf except nqueens (n=18) must run functionally and verify
+	// at the tiny size on a CPU device.
+	reg := suite.New()
+	dev := device(t, "i7-6700k")
+	for _, b := range reg.All() {
+		if b.Name() == "nqueens" {
+			continue
+		}
+		m, err := Run(b, "tiny", dev, quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if !m.Verified {
+			t.Errorf("%s tiny not verified (ops budget too small?)", b.Name())
+		}
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	reg := suite.New()
+	b, _ := reg.Get("crc")
+	if _, err := Run(b, "tiny", device(t, "i7-6700k"), Options{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+	if _, err := Run(b, "gigantic", device(t, "i7-6700k"), quickOpts()); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestSamplesVaryButStayPositive(t *testing.T) {
+	reg := suite.New()
+	b, _ := reg.Get("csr")
+	m, err := Run(b, "small", device(t, "k20m"), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allEqual := true
+	for i, v := range m.KernelNs {
+		if v <= 0 {
+			t.Fatal("non-positive sample")
+		}
+		if i > 0 && v != m.KernelNs[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatal("noise model produced identical samples")
+	}
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	reg := suite.New()
+	b, _ := reg.Get("fft")
+	a, err := Run(b, "tiny", device(t, "titanx"), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(b, "tiny", device(t, "titanx"), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.KernelNs {
+		if a.KernelNs[i] != c.KernelNs[i] {
+			t.Fatal("same-seed measurements differ — reproducibility broken")
+		}
+	}
+}
+
+func TestRecords(t *testing.T) {
+	reg := suite.New()
+	b, _ := reg.Get("crc")
+	m, err := Run(b, "tiny", device(t, "i7-6700k"), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := m.Records()
+	if len(recs) != 2*len(m.KernelNs) {
+		t.Fatalf("%d records, want %d", len(recs), 2*len(m.KernelNs))
+	}
+	if recs[0].Region != "kernel" || recs[1].Region != "transfer" {
+		t.Fatal("record regions wrong")
+	}
+	if recs[0].Counters["PAPI_TOT_INS"] <= 0 {
+		t.Fatal("counters missing from records")
+	}
+}
+
+func TestRunGridSelection(t *testing.T) {
+	reg := suite.New()
+	var progress strings.Builder
+	g, err := RunGrid(reg, GridSpec{
+		Benchmarks: []string{"csr", "crc"},
+		Sizes:      []string{"tiny", "small"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+		Options:    quickOpts(),
+		Progress:   &progress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Measurements) != 2*2*2 {
+		t.Fatalf("%d cells, want 8", len(g.Measurements))
+	}
+	if m := g.Find("csr", "tiny", "gtx1080"); m == nil {
+		t.Fatal("Find failed")
+	}
+	if m := g.Find("nope", "tiny", "gtx1080"); m != nil {
+		t.Fatal("Find invented a cell")
+	}
+	if got := len(g.ByBenchmark("crc")); got != 4 {
+		t.Fatalf("ByBenchmark returned %d, want 4", got)
+	}
+	if !strings.Contains(progress.String(), "csr") {
+		t.Fatal("progress not written")
+	}
+}
+
+func TestRunGridSizeFilterSkipsUnsupported(t *testing.T) {
+	// nqueens supports only one size; asking for "large" must skip it
+	// rather than fail.
+	reg := suite.New()
+	g, err := RunGrid(reg, GridSpec{
+		Benchmarks: []string{"nqueens"},
+		Sizes:      []string{"large"},
+		Devices:    []string{"i7-6700k"},
+		Options:    quickOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Measurements) != 0 {
+		t.Fatal("unsupported size not skipped")
+	}
+}
+
+func TestRunGridUnknownNames(t *testing.T) {
+	reg := suite.New()
+	if _, err := RunGrid(reg, GridSpec{Benchmarks: []string{"zzz"}, Options: quickOpts()}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := RunGrid(reg, GridSpec{Devices: []string{"zzz"}, Options: quickOpts()}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestGridMerge(t *testing.T) {
+	reg := suite.New()
+	opts := quickOpts()
+	a, err := RunGrid(reg, GridSpec{Benchmarks: []string{"crc"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"}, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGrid(reg, GridSpec{Benchmarks: []string{"csr"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"}, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	if len(a.Measurements) != 2 {
+		t.Fatal("merge failed")
+	}
+}

@@ -1,0 +1,286 @@
+package harness
+
+// Shape tests: assert the paper's qualitative findings (§5, DESIGN.md §4)
+// over the full simulated grid. These are the acceptance criteria of the
+// reproduction — not absolute numbers, but who wins, by roughly what factor,
+// and where the crossovers fall.
+
+import (
+	"sync"
+	"testing"
+
+	"opendwarfs/internal/suite"
+)
+
+var (
+	gridOnce sync.Once
+	fullGrid *Grid
+	gridErr  error
+)
+
+// shapeGrid runs the full benchmark × size × device grid once, timing model
+// only (functional correctness is covered by the per-dwarf tests; shapes
+// are a property of the device models).
+func shapeGrid(t *testing.T) *Grid {
+	t.Helper()
+	gridOnce.Do(func() {
+		opt := DefaultOptions()
+		opt.Samples = 8
+		opt.MaxFunctionalOps = 0 // simulate-only: shapes come from the model
+		opt.Verify = false
+		fullGrid, gridErr = RunGrid(suite.New(), GridSpec{Options: opt})
+	})
+	if gridErr != nil {
+		t.Fatal(gridErr)
+	}
+	return fullGrid
+}
+
+// median returns the median kernel time for a cell, failing if missing.
+func median(t *testing.T, g *Grid, bench, size, dev string) float64 {
+	t.Helper()
+	m := g.Find(bench, size, dev)
+	if m == nil {
+		t.Fatalf("missing grid cell %s/%s/%s", bench, size, dev)
+	}
+	return m.Kernel.Median
+}
+
+var (
+	cpuIDs      = []string{"e5-2697v2", "i7-6700k", "i5-3550"}
+	nvidiaIDs   = []string{"titanx", "gtx1080", "gtx1080ti", "k20m", "k40m"}
+	amdIDs      = []string{"s9150", "hd7970", "r9-290x", "r9-295x2", "r9-furyx", "rx480"}
+	gpuIDs      = append(append([]string{}, nvidiaIDs...), amdIDs...)
+	modernGPUs  = []string{"titanx", "gtx1080", "gtx1080ti", "r9-furyx", "rx480"}
+	allSizes    = []string{"tiny", "small", "medium", "large"}
+	gpuFavoured = []string{"lud", "csr", "fft", "dwt", "srad"}
+)
+
+// Figure 1: "Execution times for crc are lowest on CPU-type architectures".
+func TestShapeFig1CRCFastestOnCPUs(t *testing.T) {
+	g := shapeGrid(t)
+	for _, size := range allSizes {
+		bestCPU := median(t, g, "crc", size, "i7-6700k")
+		for _, cpu := range cpuIDs {
+			if v := median(t, g, "crc", size, cpu); v < bestCPU {
+				bestCPU = v
+			}
+		}
+		for _, dev := range append(append([]string{}, gpuIDs...), "knl-7210") {
+			if v := median(t, g, "crc", size, dev); v <= bestCPU {
+				t.Errorf("crc/%s: %s (%.3g ns) not slower than best CPU (%.3g ns)", size, dev, v, bestCPU)
+			}
+		}
+	}
+}
+
+// Figure 1 / §5.1: "the performance on the KNL is poor".
+func TestShapeKNLPoor(t *testing.T) {
+	g := shapeGrid(t)
+	for _, bench := range []string{"crc", "srad", "fft"} {
+		knl := median(t, g, bench, "large", "knl-7210")
+		for _, cpu := range cpuIDs {
+			if knl <= median(t, g, bench, "large", cpu) {
+				t.Errorf("%s/large: KNL (%.3g) should trail CPU %s", bench, knl, cpu)
+			}
+		}
+	}
+}
+
+// §5.1: "a notable exception is k-means for which CPU execution times were
+// comparable to GPU".
+func TestShapeKmeansCPUComparable(t *testing.T) {
+	g := shapeGrid(t)
+	cpu := median(t, g, "kmeans", "large", "i7-6700k")
+	gpu := median(t, g, "kmeans", "large", "gtx1080")
+	if ratio := cpu / gpu; ratio > 4 {
+		t.Errorf("kmeans/large CPU/GPU ratio %.1f: paper reports comparable times", ratio)
+	}
+}
+
+// §5.1: benchmarks other than crc perform best on GPU accelerators.
+func TestShapeGPUsWinLargeVectorBenchmarks(t *testing.T) {
+	g := shapeGrid(t)
+	for _, bench := range gpuFavoured {
+		cpuBest := median(t, g, bench, "large", "i7-6700k")
+		for _, cpu := range cpuIDs {
+			if v := median(t, g, bench, "large", cpu); v < cpuBest {
+				cpuBest = v
+			}
+		}
+		gpuBest := median(t, g, bench, "large", "gtx1080")
+		for _, dev := range modernGPUs {
+			if v := median(t, g, bench, "large", dev); v < gpuBest {
+				gpuBest = v
+			}
+		}
+		if gpuBest >= cpuBest {
+			t.Errorf("%s/large: best modern GPU (%.3g ns) should beat best CPU (%.3g ns)", bench, gpuBest, cpuBest)
+		}
+	}
+}
+
+// Figure 3a: the CPU–GPU gap widens with problem size for srad
+// (bandwidth-limited Structured Grid).
+func TestShapeSRADGapWidens(t *testing.T) {
+	g := shapeGrid(t)
+	gap := func(size string) float64 {
+		return median(t, g, "srad", size, "i7-6700k") / median(t, g, "srad", size, "gtx1080")
+	}
+	if gap("large") <= gap("tiny") {
+		t.Errorf("srad CPU/GPU gap should widen: tiny %.2f, large %.2f", gap("tiny"), gap("large"))
+	}
+}
+
+// Figure 3b: "a widening performance gap over each increase in problem size
+// between AMD GPUs and the other devices"; Intel CPUs and Nvidia GPUs stay
+// comparable at every size.
+func TestShapeNWAMDDegrades(t *testing.T) {
+	g := shapeGrid(t)
+	gap := func(size string) float64 {
+		return median(t, g, "nw", size, "r9-290x") - median(t, g, "nw", size, "gtx1080")
+	}
+	prev := -1.0
+	for _, size := range allSizes {
+		d := gap(size)
+		if d <= prev {
+			t.Errorf("nw AMD-Nvidia gap should widen monotonically: %s gap %.3g ns not above previous %.3g", size, d, prev)
+		}
+		prev = d
+	}
+	if rel := median(t, g, "nw", "large", "r9-290x") / median(t, g, "nw", "large", "gtx1080"); rel < 2 {
+		t.Errorf("nw/large AMD should clearly trail Nvidia, ratio %.2f", rel)
+	}
+	cpuVsNvidia := median(t, g, "nw", "large", "i7-6700k") / median(t, g, "nw", "large", "gtx1080")
+	if cpuVsNvidia > 3 || cpuVsNvidia < 1.0/3 {
+		t.Errorf("nw/large Intel CPU vs Nvidia GPU should be comparable, ratio %.2f", cpuVsNvidia)
+	}
+}
+
+// §5.1: the i5-3550's smaller L3 (6 MiB) hurts at medium, which was sized
+// for the 8 MiB caches of the other CPUs (visible in lud, dwt, fft, srad).
+func TestShapeI5DegradesAtMedium(t *testing.T) {
+	g := shapeGrid(t)
+	hurt := 0
+	for _, bench := range []string{"lud", "dwt", "fft", "srad"} {
+		i5 := median(t, g, bench, "medium", "i5-3550") / median(t, g, bench, "small", "i5-3550")
+		i7 := median(t, g, bench, "medium", "i7-6700k") / median(t, g, bench, "small", "i7-6700k")
+		if i5 > i7 {
+			hurt++
+		}
+	}
+	if hurt < 3 {
+		t.Errorf("i5-3550 should degrade more than i7 from small→medium on most cache-sensitive benchmarks (saw %d/4)", hurt)
+	}
+}
+
+// §5.1: HPC GPUs beat consumer GPUs of the same generation but lose to
+// modern GPUs.
+func TestShapeHPCvsConsumerGenerations(t *testing.T) {
+	g := shapeGrid(t)
+	// K20m (Q4 2012) vs HD 7970 (Q4 2011): same era.
+	sameEra := 0
+	for _, bench := range gpuFavoured {
+		if median(t, g, bench, "large", "k40m") < median(t, g, bench, "large", "hd7970") {
+			sameEra++
+		}
+	}
+	if sameEra < 3 {
+		t.Errorf("K40m should beat the same-era HD 7970 on most benchmarks (saw %d/%d)", sameEra, len(gpuFavoured))
+	}
+	// But modern consumer GPUs always beat the HPC parts.
+	for _, bench := range gpuFavoured {
+		hpcBest := median(t, g, bench, "large", "k20m")
+		for _, d := range []string{"k40m", "s9150"} {
+			if v := median(t, g, bench, "large", d); v < hpcBest {
+				hpcBest = v
+			}
+		}
+		modernBest := median(t, g, bench, "large", "titanx")
+		for _, d := range modernGPUs {
+			if v := median(t, g, bench, "large", d); v < modernBest {
+				modernBest = v
+			}
+		}
+		if modernBest >= hpcBest {
+			t.Errorf("%s/large: modern GPUs (%.3g) should beat HPC GPUs (%.3g)", bench, modernBest, hpcBest)
+		}
+	}
+}
+
+// §5.1: "the coefficient of variation ... is much greater for devices with
+// a lower clock frequency".
+func TestShapeCVTracksClock(t *testing.T) {
+	g := shapeGrid(t)
+	slow := g.Find("srad", "large", "k20m")     // 706 MHz
+	fast := g.Find("srad", "large", "i7-6700k") // 4.3 GHz
+	if slow == nil || fast == nil {
+		t.Fatal("missing cells")
+	}
+	if slow.Kernel.CV <= fast.Kernel.CV {
+		t.Errorf("low-clock K20m CV %.4f should exceed i7 CV %.4f", slow.Kernel.CV, fast.Kernel.CV)
+	}
+}
+
+// Figure 5: at large, every benchmark uses more energy on the i7-6700K than
+// the GTX 1080 except crc.
+func TestShapeFig5Energy(t *testing.T) {
+	g := shapeGrid(t)
+	for _, bench := range []string{"kmeans", "lud", "csr", "fft", "dwt", "srad"} {
+		cpu := g.Find(bench, "large", "i7-6700k")
+		gpu := g.Find(bench, "large", "gtx1080")
+		if cpu == nil || gpu == nil {
+			t.Fatalf("missing energy cells for %s", bench)
+		}
+		if cpu.Energy.Median <= gpu.Energy.Median {
+			t.Errorf("%s/large: CPU energy %.3f J should exceed GPU %.3f J (Fig. 5)", bench, cpu.Energy.Median, gpu.Energy.Median)
+		}
+	}
+	// gem's single verified size in the energy figure.
+	cpu := g.Find("gem", "large", "i7-6700k")
+	gpu := g.Find("gem", "large", "gtx1080")
+	if cpu.Energy.Median <= gpu.Energy.Median {
+		t.Errorf("gem/large: CPU energy %.3f J should exceed GPU %.3f J", cpu.Energy.Median, gpu.Energy.Median)
+	}
+	// The crc exception.
+	crcCPU := g.Find("crc", "large", "i7-6700k")
+	crcGPU := g.Find("crc", "large", "gtx1080")
+	if crcCPU.Energy.Median >= crcGPU.Energy.Median {
+		t.Errorf("crc/large: CPU energy %.3f J should be BELOW GPU %.3f J (the Fig. 5 exception)", crcCPU.Energy.Median, crcGPU.Energy.Median)
+	}
+}
+
+// Modern large-L2 GPUs do relatively better at large sizes (§5.1).
+func TestShapeModernGPUsScaleBetter(t *testing.T) {
+	g := shapeGrid(t)
+	// GTX 1080 (2 MiB L2) vs K20m (1.5 MiB, older): the ratio
+	// K20m/GTX1080 should not shrink as size grows for cache-sensitive
+	// benchmarks.
+	grow := func(bench string) (tiny, large float64) {
+		return median(t, g, bench, "tiny", "k20m") / median(t, g, bench, "tiny", "gtx1080"),
+			median(t, g, bench, "large", "k20m") / median(t, g, bench, "large", "gtx1080")
+	}
+	tiny, large := grow("fft")
+	if large < tiny*0.8 {
+		t.Errorf("fft: old K20m should not catch up at large sizes (tiny ratio %.2f, large %.2f)", tiny, large)
+	}
+}
+
+// Device class sanity across the whole grid: every measurement carries
+// positive, finite statistics.
+func TestShapeGridIntegrity(t *testing.T) {
+	g := shapeGrid(t)
+	// 10 benchmarks × 4 sizes × 15 devices + nqueens × 1 × 15.
+	want := 10*4*15 + 15
+	if len(g.Measurements) != want {
+		t.Fatalf("%d grid cells, want %d", len(g.Measurements), want)
+	}
+	for _, m := range g.Measurements {
+		if m.Kernel.Median <= 0 || m.Energy.Median < 0 {
+			t.Fatalf("%s/%s/%s: degenerate stats", m.Benchmark, m.Size, m.Device.ID)
+		}
+		if m.Kernel.CV <= 0 || m.Kernel.CV > 0.5 {
+			t.Fatalf("%s/%s/%s: implausible CV %f", m.Benchmark, m.Size, m.Device.ID, m.Kernel.CV)
+		}
+	}
+}

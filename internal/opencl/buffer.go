@@ -1,0 +1,191 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Context owns device memory objects, as in OpenCL. Its accounting of total
+// device-side bytes implements the paper's memory-footprint verification:
+// "the memory footprint was verified for each benchmark by printing the sum
+// of the size of all memory allocated on the device" (§4.4).
+type Context struct {
+	mu      sync.Mutex
+	devices []*Device
+	buffers map[*Buffer]struct{}
+	bytes   int64
+}
+
+// NewContext creates a context spanning the given devices (at least one).
+func NewContext(devices ...*Device) (*Context, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("opencl: context requires at least one device")
+	}
+	return &Context{devices: devices, buffers: make(map[*Buffer]struct{})}, nil
+}
+
+// Devices returns the devices in the context.
+func (c *Context) Devices() []*Device { return c.devices }
+
+// DeviceFootprintBytes is the sum of all live buffer sizes — Eq. (1) of the
+// paper generalised to any benchmark.
+func (c *Context) DeviceFootprintBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Buffer is a device memory object. The backing store is a host slice that
+// kernels (Go closures) capture directly; Release drops the context
+// accounting.
+type Buffer struct {
+	ctx   *Context
+	name  string
+	bytes int64
+	data  any
+	freed bool
+}
+
+// NewBuffer allocates an n-element buffer of element type T and returns both
+// the buffer handle (for transfer commands and footprint accounting) and the
+// backing slice (for the kernel closures).
+func NewBuffer[T any](ctx *Context, name string, n int) (*Buffer, []T) {
+	if n < 0 {
+		panic(fmt.Sprintf("opencl: negative buffer length %d for %q", n, name))
+	}
+	s := make([]T, n)
+	var elem T
+	b := &Buffer{ctx: ctx, name: name, bytes: int64(n) * int64(sizeOf(elem)), data: s}
+	ctx.mu.Lock()
+	ctx.buffers[b] = struct{}{}
+	ctx.bytes += b.bytes
+	ctx.mu.Unlock()
+	return b, s
+}
+
+// sizeOf reports the in-memory size of the element, restricted to the types
+// the benchmarks use. Using a switch rather than unsafe.Sizeof keeps the
+// runtime portable and explicit.
+func sizeOf(v any) int {
+	switch v.(type) {
+	case float32, int32, uint32:
+		return 4
+	case float64, int64, uint64, int, complex64:
+		return 8
+	case complex128:
+		return 16
+	case uint8, int8, bool:
+		return 1
+	case uint16, int16:
+		return 2
+	default:
+		panic(fmt.Sprintf("opencl: unsupported buffer element type %T", v))
+	}
+}
+
+// Name returns the buffer's label.
+func (b *Buffer) Name() string { return b.name }
+
+// Bytes returns the buffer's size in bytes.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Data returns the backing slice as a []T; it panics if T does not match the
+// allocation type, mirroring the type confusion a real OpenCL program would
+// hit with mismatched kernel arguments.
+func Data[T any](b *Buffer) []T {
+	s, ok := b.data.([]T)
+	if !ok {
+		panic(fmt.Sprintf("opencl: buffer %q holds %T, requested %T", b.name, b.data, s))
+	}
+	return s
+}
+
+// copyBufferData copies the backing slice of src into dst; the allocation
+// element types must match (CL_INVALID_VALUE otherwise).
+func copyBufferData(dst, src *Buffer) error {
+	switch s := src.data.(type) {
+	case []float32:
+		d, ok := dst.data.([]float32)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	case []float64:
+		d, ok := dst.data.([]float64)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	case []int32:
+		d, ok := dst.data.([]int32)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	case []uint32:
+		d, ok := dst.data.([]uint32)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	case []uint64:
+		d, ok := dst.data.([]uint64)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	case []uint8:
+		d, ok := dst.data.([]uint8)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	case []complex64:
+		d, ok := dst.data.([]complex64)
+		if !ok {
+			return typeMismatch(dst, src)
+		}
+		copy(d, s)
+	default:
+		return fmt.Errorf("opencl: copy unsupported for buffer type %T", src.data)
+	}
+	return nil
+}
+
+func typeMismatch(dst, src *Buffer) error {
+	return fmt.Errorf("opencl: copy between %T (%q) and %T (%q)", src.data, src.name, dst.data, dst.name)
+}
+
+// zeroBufferData clears the backing slice of a buffer.
+func zeroBufferData(b *Buffer) {
+	switch s := b.data.(type) {
+	case []float32:
+		clear(s)
+	case []float64:
+		clear(s)
+	case []int32:
+		clear(s)
+	case []uint32:
+		clear(s)
+	case []uint64:
+		clear(s)
+	case []uint8:
+		clear(s)
+	case []complex64:
+		clear(s)
+	}
+}
+
+// Release returns the buffer's bytes to the context accounting. Releasing
+// twice is an error, as in OpenCL (clReleaseMemObject underflow).
+func (b *Buffer) Release() error {
+	b.ctx.mu.Lock()
+	defer b.ctx.mu.Unlock()
+	if b.freed {
+		return fmt.Errorf("opencl: buffer %q released twice", b.name)
+	}
+	b.freed = true
+	delete(b.ctx.buffers, b)
+	b.ctx.bytes -= b.bytes
+	return nil
+}

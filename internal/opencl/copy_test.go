@@ -1,0 +1,127 @@
+package opencl
+
+import "testing"
+
+func TestEnqueueCopy(t *testing.T) {
+	ctx, q := newCPUQueue(t)
+	srcBuf, src := NewBuffer[float32](ctx, "src", 128)
+	dstBuf, dst := NewBuffer[float32](ctx, "dst", 128)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	ev, err := q.EnqueueCopy(dstBuf, srcBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float32(i) {
+			t.Fatalf("dst[%d] = %f", i, dst[i])
+		}
+	}
+	if ev.Kind != CommandCopy || ev.DurationNs() <= 0 || ev.Bytes != 512 {
+		t.Fatalf("copy event %+v", ev)
+	}
+	if CommandCopy.String() != "copy" || CommandFill.String() != "fill" {
+		t.Fatal("command kind names")
+	}
+}
+
+func TestEnqueueCopyValidation(t *testing.T) {
+	ctx, q := newCPUQueue(t)
+	small, _ := NewBuffer[float32](ctx, "small", 8)
+	big, _ := NewBuffer[float32](ctx, "big", 16)
+	ints, _ := NewBuffer[int32](ctx, "ints", 16)
+	if _, err := q.EnqueueCopy(small, big); err == nil {
+		t.Fatal("oversized copy accepted")
+	}
+	if _, err := q.EnqueueCopy(ints, big); err == nil {
+		t.Fatal("type-confused copy accepted")
+	}
+}
+
+func TestEnqueueCopyAllTypes(t *testing.T) {
+	ctx, q := newCPUQueue(t)
+	check := func(name string, mk func() (*Buffer, *Buffer), verify func() bool) {
+		dst, src := mk()
+		if _, err := q.EnqueueCopy(dst, src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !verify() {
+			t.Fatalf("%s: payload not copied", name)
+		}
+	}
+	{
+		db, d := NewBuffer[int32](ctx, "d32", 4)
+		sb, s := NewBuffer[int32](ctx, "s32", 4)
+		s[2] = 7
+		check("int32", func() (*Buffer, *Buffer) { return db, sb }, func() bool { return d[2] == 7 })
+	}
+	{
+		db, d := NewBuffer[uint8](ctx, "d8", 4)
+		sb, s := NewBuffer[uint8](ctx, "s8", 4)
+		s[1] = 9
+		check("uint8", func() (*Buffer, *Buffer) { return db, sb }, func() bool { return d[1] == 9 })
+	}
+	{
+		db, d := NewBuffer[complex64](ctx, "dc", 4)
+		sb, s := NewBuffer[complex64](ctx, "sc", 4)
+		s[3] = complex(1, 2)
+		check("complex64", func() (*Buffer, *Buffer) { return db, sb }, func() bool { return d[3] == complex(1, 2) })
+	}
+	{
+		db, d := NewBuffer[float64](ctx, "d64", 4)
+		sb, s := NewBuffer[float64](ctx, "s64", 4)
+		s[0] = 3.5
+		check("float64", func() (*Buffer, *Buffer) { return db, sb }, func() bool { return d[0] == 3.5 })
+	}
+	{
+		db, d := NewBuffer[uint64](ctx, "du", 4)
+		sb, s := NewBuffer[uint64](ctx, "su", 4)
+		s[0] = 11
+		check("uint64", func() (*Buffer, *Buffer) { return db, sb }, func() bool { return d[0] == 11 })
+	}
+	{
+		db, d := NewBuffer[uint32](ctx, "du32", 4)
+		sb, s := NewBuffer[uint32](ctx, "su32", 4)
+		s[0] = 13
+		check("uint32", func() (*Buffer, *Buffer) { return db, sb }, func() bool { return d[0] == 13 })
+	}
+}
+
+func TestEnqueueFill(t *testing.T) {
+	ctx, q := newCPUQueue(t)
+	buf, data := NewBuffer[int32](ctx, "x", 64)
+	for i := range data {
+		data[i] = int32(i + 1)
+	}
+	ev := q.EnqueueFill(buf)
+	for i, v := range data {
+		if v != 0 {
+			t.Fatalf("fill left data[%d] = %d", i, v)
+		}
+	}
+	if ev.Kind != CommandFill || ev.DurationNs() <= 0 {
+		t.Fatalf("fill event %+v", ev)
+	}
+}
+
+func TestCopyFillSimulateOnly(t *testing.T) {
+	ctx, q := newCPUQueue(t)
+	q.SetSimulateOnly(true)
+	srcBuf, src := NewBuffer[float32](ctx, "src", 8)
+	dstBuf, dst := NewBuffer[float32](ctx, "dst", 8)
+	src[0] = 5
+	if _, err := q.EnqueueCopy(dstBuf, srcBuf); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 {
+		t.Fatal("simulate-only copy moved data")
+	}
+	q.EnqueueFill(srcBuf)
+	if src[0] != 5 {
+		t.Fatal("simulate-only fill cleared data")
+	}
+	if len(q.Events()) != 2 {
+		t.Fatal("events not recorded in simulate-only mode")
+	}
+}

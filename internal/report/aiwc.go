@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"opendwarfs/internal/aiwc"
+	"opendwarfs/internal/harness"
+)
+
+// AIWCTable renders the architecture-independent characterisation of every
+// distinct kernel in a grid — the per-kernel feature table the paper's §7
+// describes as the explanatory companion to the runtime results.
+func AIWCTable(w io.Writer, g *harness.Grid) {
+	var ms []aiwc.Metrics
+	seen := map[string]bool{}
+	for _, meas := range g.Measurements {
+		for _, p := range meas.Profiles {
+			key := meas.Benchmark + "/" + p.Name
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			m := aiwc.Characterize(p)
+			m.Kernel = key
+			ms = append(ms, m)
+		}
+	}
+	aiwc.SortByName(ms)
+
+	headers := []string{"Kernel", "Ops", "AI (flop/B)", "Parallelism", "Gran (ops/item)",
+		"flop", "int", "load", "store", "branch", "Diverg", "Footprint (KiB)"}
+	var rows [][]string
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.Kernel,
+			fmt.Sprintf("%.3g", m.TotalOps),
+			fmt.Sprintf("%.3f", m.ArithmeticIntensity),
+			fmt.Sprintf("%d", m.Parallelism),
+			fmt.Sprintf("%.1f", m.GranularityOps),
+			fmt.Sprintf("%.2f", m.FlopFraction),
+			fmt.Sprintf("%.2f", m.IntFraction),
+			fmt.Sprintf("%.2f", m.LoadFraction),
+			fmt.Sprintf("%.2f", m.StoreFraction),
+			fmt.Sprintf("%.2f", m.BranchFraction),
+			fmt.Sprintf("%.2f", m.BranchDivergence),
+			fmt.Sprintf("%.1f", float64(m.FootprintBytes)/1024),
+		})
+	}
+	fmt.Fprintln(w, "AIWC: architecture-independent workload characterisation (§7)")
+	Table(w, headers, rows)
+
+	if len(ms) >= 2 {
+		a, b, d := aiwc.MostSimilarPair(ms)
+		fmt.Fprintf(w, "\nDiversity: most similar kernel pair is %s / %s (distance %.3f)\n", a.Kernel, b.Kernel, d)
+	}
+}

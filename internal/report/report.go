@@ -1,0 +1,239 @@
+// Package report renders the paper's tables and figures from suite
+// measurements: ASCII tables for Tables 1–3, per-figure box-plot series for
+// Figures 1–4, and the energy comparison of Figure 5. Each figure renderer
+// also emits CSV so the series can be re-plotted externally.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/sim"
+)
+
+// Table writes an ASCII table with a header row.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// Table1Hardware renders the paper's Table 1 from the device catalogue.
+func Table1Hardware(w io.Writer) {
+	headers := []string{"Name", "Vendor", "Type", "Series", "Core Count",
+		"Clock (MHz) min/max/turbo", "Cache (KiB) L1/L2/L3", "TDP (W)", "Launch Date"}
+	var rows [][]string
+	for _, d := range sim.Devices() {
+		devType := "CPU"
+		switch d.Class {
+		case sim.ConsumerGPU, sim.HPCGPU:
+			devType = "GPU"
+		case sim.MIC:
+			devType = "MIC"
+		}
+		clock := fmt.Sprintf("%.0f/%s/%s", d.MinClockMHz, dash(d.MaxClockMHz), dash(d.TurboClockMHz))
+		cache := fmt.Sprintf("%.0f/%.0f/%s", d.L1KiB, d.L2KiB, dash(d.L3KiB))
+		rows = append(rows, []string{
+			d.Name, d.Vendor, devType, d.Series, fmt.Sprintf("%d", d.CoreCount),
+			clock, cache, fmt.Sprintf("%.0f", d.TDPWatts), d.LaunchDate,
+		})
+	}
+	fmt.Fprintln(w, "Table 1: Hardware")
+	Table(w, headers, rows)
+}
+
+func dash(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// Table2Sizes renders the paper's Table 2 (workload scale parameters Φ).
+func Table2Sizes(w io.Writer, reg *dwarfs.Registry) {
+	headers := []string{"Benchmark", "tiny", "small", "medium", "large"}
+	var rows [][]string
+	for _, b := range reg.All() {
+		row := []string{b.Name()}
+		for _, size := range dwarfs.Sizes() {
+			val := "-"
+			for _, s := range b.Sizes() {
+				if s == size {
+					val = b.ScaleParameter(size)
+				}
+			}
+			row = append(row, val)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(w, "Table 2: OpenDwarfs workload scale parameters Φ")
+	Table(w, headers, rows)
+}
+
+// Table3Args renders the paper's Table 3 (program arguments).
+func Table3Args(w io.Writer, reg *dwarfs.Registry) {
+	headers := []string{"Benchmark", "Arguments"}
+	var rows [][]string
+	for _, b := range reg.All() {
+		size := b.Sizes()[0]
+		args := b.ArgString(size)
+		// Table 3 shows the scale slot symbolically.
+		args = strings.ReplaceAll(args, b.ScaleParameter(size), "Φ")
+		rows = append(rows, []string{b.Name(), args})
+	}
+	fmt.Fprintln(w, "Table 3: Program Arguments (Φ = workload scale parameter)")
+	Table(w, headers, rows)
+}
+
+// FigureSeries renders one benchmark's grid slice as the per-size device
+// box-plot series of Figures 1–3: for each size a sub-table of device,
+// class, and the five-number summary of kernel time in milliseconds.
+func FigureSeries(w io.Writer, g *harness.Grid, bench string, sizes []string) {
+	for _, size := range sizes {
+		var rows [][]string
+		for _, m := range g.ByBenchmark(bench) {
+			if m.Size != size {
+				continue
+			}
+			rows = append(rows, []string{
+				m.Device.Name,
+				m.Device.Class.String(),
+				ms(m.Kernel.Min), ms(m.Kernel.Q1), ms(m.Kernel.Median),
+				ms(m.Kernel.Q3), ms(m.Kernel.Max),
+				fmt.Sprintf("%.3f", m.Kernel.CV),
+			})
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s / %s — kernel time (ms)\n", bench, size)
+		Table(w, []string{"Device", "Class", "min", "q1", "median", "q3", "max", "CV"}, rows)
+	}
+}
+
+// FigureCSV emits one benchmark's series as CSV rows
+// (benchmark,size,device,class,stat...) for external plotting.
+func FigureCSV(w io.Writer, g *harness.Grid, bench string) {
+	fmt.Fprintln(w, "benchmark,size,device,class,min_ms,q1_ms,median_ms,q3_ms,max_ms,cv,energy_j")
+	for _, m := range g.ByBenchmark(bench) {
+		fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%s,%s,%s,%.4f,%.4f\n",
+			m.Benchmark, m.Size, m.Device.ID, m.Device.Class,
+			ms(m.Kernel.Min), ms(m.Kernel.Q1), ms(m.Kernel.Median),
+			ms(m.Kernel.Q3), ms(m.Kernel.Max), m.Kernel.CV, m.Energy.Median)
+	}
+}
+
+// Figure5Energy renders the large-size energy comparison between the
+// i7-6700K (RAPL) and GTX 1080 (NVML), linear and log as in Figs. 5a/5b.
+func Figure5Energy(w io.Writer, g *harness.Grid, benches []string) {
+	headers := []string{"Benchmark", "i7-6700k (J)", "gtx1080 (J)", "CPU/GPU"}
+	var rows [][]string
+	for _, bench := range benches {
+		cpu := g.Find(bench, sizeForEnergy(bench), "i7-6700k")
+		gpu := g.Find(bench, sizeForEnergy(bench), "gtx1080")
+		if cpu == nil || gpu == nil {
+			continue
+		}
+		rows = append(rows, []string{
+			bench,
+			fmt.Sprintf("%.4f", cpu.Energy.Median),
+			fmt.Sprintf("%.4f", gpu.Energy.Median),
+			fmt.Sprintf("%.2f", cpu.Energy.Median/gpu.Energy.Median),
+		})
+	}
+	fmt.Fprintln(w, "Figure 5: kernel execution energy, large problem size")
+	Table(w, headers, rows)
+}
+
+// sizeForEnergy returns the problem size Figure 5 uses per benchmark
+// (large, except the single-size benchmarks).
+func sizeForEnergy(bench string) string {
+	if bench == "nqueens" {
+		return dwarfs.SizeTiny
+	}
+	return dwarfs.SizeLarge
+}
+
+func ms(ns float64) string { return fmt.Sprintf("%.4f", ns/1e6) }
+
+// BoxPlotASCII draws a horizontal ASCII box plot of a five-number summary
+// scaled to a shared maximum, for terminal-friendly figure rendering.
+func BoxPlotASCII(min, q1, median, q3, max, scaleMax float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if scaleMax <= 0 {
+		return strings.Repeat(" ", width)
+	}
+	pos := func(v float64) int {
+		p := int(v / scaleMax * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []rune(strings.Repeat(" ", width))
+	for i := pos(min); i <= pos(max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(q1); i <= pos(q3); i++ {
+		row[i] = '='
+	}
+	row[pos(median)] = '#'
+	return string(row)
+}
+
+// FigureBoxes renders a benchmark × size panel as ASCII box plots, the
+// terminal analogue of the paper's figure panels.
+func FigureBoxes(w io.Writer, g *harness.Grid, bench, size string, width int) {
+	var ms []*harness.Measurement
+	maxNs := 0.0
+	for _, m := range g.ByBenchmark(bench) {
+		if m.Size != size {
+			continue
+		}
+		ms = append(ms, m)
+		if m.Kernel.Max > maxNs {
+			maxNs = m.Kernel.Max
+		}
+	}
+	if len(ms) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s / %s  (scale max %.3f ms)\n", bench, size, maxNs/1e6)
+	for _, m := range ms {
+		k := m.Kernel
+		fmt.Fprintf(w, "%-15s |%s| %8.3f ms\n", m.Device.ID,
+			BoxPlotASCII(k.Min, k.Q1, k.Median, k.Q3, k.Max, maxNs, width), k.Median/1e6)
+	}
+}

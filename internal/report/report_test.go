@@ -1,0 +1,158 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/suite"
+)
+
+func smallGrid(t *testing.T) *harness.Grid {
+	t.Helper()
+	opt := harness.DefaultOptions()
+	opt.Samples = 6
+	opt.MaxFunctionalOps = 0
+	opt.Verify = false
+	g, err := harness.RunGrid(suite.New(), harness.GridSpec{
+		Benchmarks: []string{"crc", "srad"},
+		Sizes:      []string{"tiny", "large"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
+		Options:    opt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTableRendering(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"a", "bb"}, [][]string{{"xxx", "y"}, {"1", "22222"}})
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a    bb") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+}
+
+func TestTable1ContainsAllDevices(t *testing.T) {
+	var sb strings.Builder
+	Table1Hardware(&sb)
+	out := sb.String()
+	for _, name := range []string{"Xeon E5-2697 v2", "i7-6700K", "Titan X", "GTX 1080 Ti", "FirePro S9150", "R9 295x2", "Xeon Phi 7210"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %q", name)
+		}
+	}
+	// Spot-check Table 1 values from the paper.
+	if !strings.Contains(out, "1200/2700/3500") {
+		t.Error("E5-2697 v2 clocks wrong")
+	}
+	if !strings.Contains(out, "32/256/30720") {
+		t.Error("E5-2697 v2 caches wrong")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	Table2Sizes(&sb, suite.New())
+	out := sb.String()
+	checks := []string{
+		"kmeans", "256", "131072",
+		"fft", "2097152",
+		"srad", "80,16", "2048,1024",
+		"gem", "4TUT", "1KX5",
+		"nqueens", "18",
+		"hmm", "8,1", "2048,2048",
+	}
+	for _, c := range checks {
+		if !strings.Contains(out, c) {
+			t.Errorf("Table 2 missing %q", c)
+		}
+	}
+	// nqueens has a single size: dashes in the other columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "nqueens") && strings.Count(line, "-") < 3 {
+			t.Errorf("nqueens row should dash unsupported sizes: %q", line)
+		}
+	}
+}
+
+func TestTable3SymbolisesScale(t *testing.T) {
+	var sb strings.Builder
+	Table3Args(&sb, suite.New())
+	out := sb.String()
+	if !strings.Contains(out, "-g -f 26 -p Φ") {
+		t.Errorf("kmeans args not symbolised:\n%s", out)
+	}
+	if !strings.Contains(out, "-l 3 Φ-gum.ppm") {
+		t.Errorf("dwt args not symbolised:\n%s", out)
+	}
+}
+
+func TestFigureSeriesAndCSV(t *testing.T) {
+	g := smallGrid(t)
+	var sb strings.Builder
+	FigureSeries(&sb, g, "crc", []string{"tiny", "large"})
+	out := sb.String()
+	if !strings.Contains(out, "crc / tiny") || !strings.Contains(out, "crc / large") {
+		t.Fatalf("figure series missing panels:\n%s", out)
+	}
+	if !strings.Contains(out, "GTX 1080") {
+		t.Fatal("figure series missing device rows")
+	}
+
+	var csv strings.Builder
+	FigureCSV(&csv, g, "srad")
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+2*3 { // header + 2 sizes × 3 devices
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,size,device") {
+		t.Fatal("CSV header wrong")
+	}
+}
+
+func TestFigure5Energy(t *testing.T) {
+	g := smallGrid(t)
+	var sb strings.Builder
+	Figure5Energy(&sb, g, []string{"crc", "srad"})
+	out := sb.String()
+	if !strings.Contains(out, "crc") || !strings.Contains(out, "CPU/GPU") {
+		t.Fatalf("figure 5 table malformed:\n%s", out)
+	}
+}
+
+func TestBoxPlotASCII(t *testing.T) {
+	s := BoxPlotASCII(1, 2, 3, 4, 5, 10, 40)
+	if len([]rune(s)) != 40 {
+		t.Fatalf("width %d", len(s))
+	}
+	if !strings.Contains(s, "#") || !strings.Contains(s, "=") {
+		t.Fatalf("missing box glyphs: %q", s)
+	}
+	// Degenerate scale.
+	if got := BoxPlotASCII(0, 0, 0, 0, 0, 0, 20); len(got) != 20 {
+		t.Fatal("degenerate scale not padded")
+	}
+}
+
+func TestFigureBoxes(t *testing.T) {
+	g := smallGrid(t)
+	var sb strings.Builder
+	FigureBoxes(&sb, g, "crc", "large", 50)
+	out := sb.String()
+	if !strings.Contains(out, "i7-6700k") || !strings.Contains(out, "#") {
+		t.Fatalf("box panel malformed:\n%s", out)
+	}
+	// Unknown slice renders nothing.
+	var empty strings.Builder
+	FigureBoxes(&empty, g, "nope", "large", 50)
+	if empty.Len() != 0 {
+		t.Fatal("unknown benchmark rendered content")
+	}
+}

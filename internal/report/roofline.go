@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/roofline"
+	"opendwarfs/internal/sim"
+)
+
+// RooflineTable renders the §7 "ideal performance" analysis for every
+// distinct kernel in a grid: roofline attainment per device and the
+// performance-portability score per kernel, ranked from most to least
+// portable.
+func RooflineTable(w io.Writer, g *harness.Grid) error {
+	// Collect one profile per benchmark/kernel (profiles are device
+	// independent) and the device set present in the grid.
+	type entry struct {
+		key     string
+		profile *sim.KernelProfile
+	}
+	var entries []entry
+	seenKernel := map[string]bool{}
+	devSet := map[string]*sim.DeviceSpec{}
+	var devs []*sim.DeviceSpec
+	for _, m := range g.Measurements {
+		if devSet[m.Device.ID] == nil {
+			devSet[m.Device.ID] = m.Device
+			devs = append(devs, m.Device)
+		}
+		for _, p := range m.Profiles {
+			key := m.Benchmark + "/" + p.Name
+			if seenKernel[key] {
+				continue
+			}
+			seenKernel[key] = true
+			entries = append(entries, entry{key: key, profile: p})
+		}
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i].ID < devs[j].ID })
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+	type row struct {
+		key  string
+		pp   float64
+		best roofline.Bound
+		wrst roofline.Bound
+	}
+	var rows []row
+	for _, e := range entries {
+		bounds, err := roofline.AnalyzeAcross(devs, e.profile)
+		if err != nil {
+			return fmt.Errorf("report: roofline for %s: %w", e.key, err)
+		}
+		rep := roofline.NewReport(e.key, bounds)
+		rows = append(rows, row{
+			key:  e.key,
+			pp:   rep.PP,
+			best: rep.Bounds[0],
+			wrst: rep.Bounds[len(rep.Bounds)-1],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pp > rows[j].pp })
+
+	fmt.Fprintln(w, "Roofline attainment and performance portability (§7 'ideal performance')")
+	headers := []string{"Kernel", "PP", "Best device", "attain", "Worst device", "attain"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.key,
+			fmt.Sprintf("%.3f", r.pp),
+			r.best.Device, fmt.Sprintf("%.3f", r.best.Attainment),
+			r.wrst.Device, fmt.Sprintf("%.3f", r.wrst.Attainment),
+		})
+	}
+	Table(w, headers, cells)
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package roofline implements the paper's §7 aspiration to "develop some
+// notion of 'ideal' performance for each combination of benchmark and
+// device, which would guide efforts to improve performance portability."
+//
+// For each kernel × device pair it computes the classic roofline bound —
+// min(peak compute, arithmetic intensity × peak bandwidth) — and an
+// attainment score: the fraction of that bound the modelled (or measured)
+// execution achieves. Suite-level performance portability is summarised
+// with the harmonic-mean metric of Pennycook, Sewall and Lee, the standard
+// formalisation of the idea the paper sketches.
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"opendwarfs/internal/sim"
+)
+
+// Bound is the ideal-performance analysis of one kernel on one device.
+type Bound struct {
+	Kernel string
+	Device string
+	// IntensityFlopPerByte is the kernel's arithmetic intensity.
+	IntensityFlopPerByte float64
+	// RidgeFlopPerByte is the device's ridge point: peak flops / peak
+	// bandwidth. Kernels left of the ridge are bandwidth-bound.
+	RidgeFlopPerByte float64
+	// ComputeBound reports which side of the ridge the kernel sits on.
+	ComputeBound bool
+	// IdealNs is the roofline-ideal execution time for the kernel's work.
+	IdealNs float64
+	// ActualNs is the modelled execution time.
+	ActualNs float64
+	// Attainment is IdealNs/ActualNs in (0,1]: 1 means the device runs the
+	// kernel at its roofline.
+	Attainment float64
+}
+
+// Analyze computes the roofline bound and attainment for a kernel profile
+// on a device.
+func Analyze(spec *sim.DeviceSpec, p *sim.KernelProfile) (Bound, error) {
+	if err := p.Validate(); err != nil {
+		return Bound{}, err
+	}
+	b := Bound{
+		Kernel: p.Name,
+		Device: spec.ID,
+	}
+	flops := float64(p.WorkItems) * p.FlopsPerItem
+	iops := float64(p.WorkItems) * p.IntOpsPerItem
+	work := flops + iops // treat integer ops at flop cost, as the model does
+	bytes := p.TotalBytes()
+
+	peakOps := spec.PeakGFLOPS // GOPS = ops per ns
+	peakBW := spec.DRAMBandwidthGBs
+
+	b.IntensityFlopPerByte = math.Inf(1)
+	if bytes > 0 {
+		b.IntensityFlopPerByte = work / bytes
+	}
+	b.RidgeFlopPerByte = peakOps / peakBW
+	b.ComputeBound = b.IntensityFlopPerByte >= b.RidgeFlopPerByte
+
+	computeNs := work / peakOps
+	memoryNs := bytes / peakBW
+	b.IdealNs = math.Max(computeNs, memoryNs)
+
+	model := sim.NewModel(spec)
+	bd := model.KernelTime(p)
+	b.ActualNs = bd.TotalNs
+	if b.ActualNs > 0 {
+		b.Attainment = b.IdealNs / b.ActualNs
+	}
+	if b.Attainment > 1 {
+		b.Attainment = 1
+	}
+	return b, nil
+}
+
+// AnalyzeAcross evaluates one kernel across a device set.
+func AnalyzeAcross(specs []*sim.DeviceSpec, p *sim.KernelProfile) ([]Bound, error) {
+	out := make([]Bound, 0, len(specs))
+	for _, d := range specs {
+		b, err := Analyze(d, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// PerformancePortability is the Pennycook–Sewall–Lee metric: the harmonic
+// mean of attainment across a device set, or 0 if any device fails to run
+// the kernel (attainment 0).
+func PerformancePortability(bounds []Bound) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range bounds {
+		if b.Attainment <= 0 {
+			return 0
+		}
+		sum += 1 / b.Attainment
+	}
+	return float64(len(bounds)) / sum
+}
+
+// Report is a sortable per-device attainment table for one kernel.
+type Report struct {
+	Kernel string
+	Bounds []Bound
+	PP     float64
+}
+
+// NewReport assembles and sorts an attainment report (best devices first).
+func NewReport(kernel string, bounds []Bound) Report {
+	sorted := append([]Bound(nil), bounds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Attainment > sorted[j].Attainment })
+	return Report{Kernel: kernel, Bounds: sorted, PP: PerformancePortability(bounds)}
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	s := fmt.Sprintf("%s: performance portability %.3f\n", r.Kernel, r.PP)
+	for _, b := range r.Bounds {
+		kind := "memory-bound"
+		if b.ComputeBound {
+			kind = "compute-bound"
+		}
+		s += fmt.Sprintf("  %-12s attainment %5.3f  ideal %10.1f ns  actual %10.1f ns  (%s, AI %.2f vs ridge %.2f)\n",
+			b.Device, b.Attainment, b.IdealNs, b.ActualNs, kind, b.IntensityFlopPerByte, b.RidgeFlopPerByte)
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/cache"
+	"opendwarfs/internal/sim"
+)
+
+func spec(t *testing.T, id string) *sim.DeviceSpec {
+	t.Helper()
+	d, err := sim.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func streamProfile() *sim.KernelProfile {
+	return &sim.KernelProfile{
+		Name: "stream", WorkItems: 1 << 22,
+		FlopsPerItem: 2, LoadBytesPerItem: 16, StoreBytesPerItem: 8,
+		WorkingSetBytes: 128 << 20, Pattern: cache.Streaming, Vectorizable: true,
+	}
+}
+
+func computeProfile() *sim.KernelProfile {
+	return &sim.KernelProfile{
+		Name: "dense", WorkItems: 1 << 20,
+		FlopsPerItem: 4000, LoadBytesPerItem: 16, StoreBytesPerItem: 4,
+		WorkingSetBytes: 16 << 20, Pattern: cache.Strided,
+		TemporalReuse: 0.9, Vectorizable: true,
+	}
+}
+
+func TestClassification(t *testing.T) {
+	d := spec(t, "gtx1080")
+	s, err := Analyze(d, streamProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ComputeBound {
+		t.Fatal("0.083 flop/B kernel classified compute-bound")
+	}
+	c, err := Analyze(d, computeProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.ComputeBound {
+		t.Fatal("200 flop/B kernel classified memory-bound")
+	}
+	// Ridge point: 8873 GF / 320 GB/s ≈ 27.7 flop/B.
+	if math.Abs(c.RidgeFlopPerByte-8873.0/320) > 1e-9 {
+		t.Fatalf("ridge %f", c.RidgeFlopPerByte)
+	}
+}
+
+func TestAttainmentBounds(t *testing.T) {
+	for _, id := range []string{"i7-6700k", "gtx1080", "k20m", "knl-7210"} {
+		for _, p := range []*sim.KernelProfile{streamProfile(), computeProfile()} {
+			b, err := Analyze(spec(t, id), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Attainment <= 0 || b.Attainment > 1 {
+				t.Fatalf("%s/%s attainment %f out of (0,1]", id, p.Name, b.Attainment)
+			}
+			if b.IdealNs <= 0 || b.ActualNs < b.IdealNs {
+				t.Fatalf("%s/%s ideal %f vs actual %f", id, p.Name, b.IdealNs, b.ActualNs)
+			}
+		}
+	}
+}
+
+func TestKNLAttainmentLowest(t *testing.T) {
+	// The KNL's OpenCL stack realises the smallest fraction of its
+	// roofline — the quantitative form of the paper's "performance on the
+	// KNL is poor".
+	knl, _ := Analyze(spec(t, "knl-7210"), computeProfile())
+	i7, _ := Analyze(spec(t, "i7-6700k"), computeProfile())
+	gtx, _ := Analyze(spec(t, "gtx1080"), computeProfile())
+	if knl.Attainment >= i7.Attainment || knl.Attainment >= gtx.Attainment {
+		t.Fatalf("KNL attainment %.3f should be the worst (i7 %.3f, gtx %.3f)",
+			knl.Attainment, i7.Attainment, gtx.Attainment)
+	}
+}
+
+func TestPerformancePortability(t *testing.T) {
+	bounds := []Bound{{Attainment: 0.5}, {Attainment: 0.5}}
+	if pp := PerformancePortability(bounds); math.Abs(pp-0.5) > 1e-12 {
+		t.Fatalf("uniform PP %f", pp)
+	}
+	// Harmonic mean punishes a single bad device.
+	uneven := []Bound{{Attainment: 0.9}, {Attainment: 0.1}}
+	if pp := PerformancePortability(uneven); pp > 0.25 {
+		t.Fatalf("harmonic mean too generous: %f", pp)
+	}
+	if PerformancePortability(nil) != 0 {
+		t.Fatal("empty set PP")
+	}
+	if PerformancePortability([]Bound{{Attainment: 0}}) != 0 {
+		t.Fatal("failing device must zero PP")
+	}
+}
+
+func TestAnalyzeAcrossAndReport(t *testing.T) {
+	bounds, err := AnalyzeAcross(sim.Devices(), streamProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 15 {
+		t.Fatalf("%d bounds", len(bounds))
+	}
+	r := NewReport("stream", bounds)
+	if r.PP <= 0 || r.PP > 1 {
+		t.Fatalf("suite PP %f", r.PP)
+	}
+	for i := 1; i < len(r.Bounds); i++ {
+		if r.Bounds[i].Attainment > r.Bounds[i-1].Attainment {
+			t.Fatal("report not sorted by attainment")
+		}
+	}
+	s := r.String()
+	if !strings.Contains(s, "performance portability") || !strings.Contains(s, "attainment") {
+		t.Fatalf("report malformed:\n%s", s)
+	}
+}
+
+func TestAnalyzeRejectsBadProfile(t *testing.T) {
+	bad := streamProfile()
+	bad.WorkItems = 0
+	if _, err := Analyze(spec(t, "gtx1080"), bad); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestZeroTrafficKernel(t *testing.T) {
+	p := &sim.KernelProfile{
+		Name: "alu", WorkItems: 1 << 16, FlopsPerItem: 100,
+		WorkingSetBytes: 1 << 10, Pattern: cache.Streaming, Vectorizable: true,
+	}
+	b, err := Analyze(spec(t, "gtx1080"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ComputeBound || !math.IsInf(b.IntensityFlopPerByte, 1) {
+		t.Fatal("zero-traffic kernel must be compute-bound with infinite AI")
+	}
+}

@@ -1,0 +1,114 @@
+package scibench
+
+import (
+	"math"
+	"sort"
+)
+
+// This file adds the sample-diagnostics layer of a scientific benchmarking
+// workflow (Hoefler & Belli's "twelve ways" rules, which LibSciBench
+// implements): normality checking before parametric tests, and
+// autocorrelation checking before treating loop samples as independent.
+
+// KSNormal runs a Lilliefors-style Kolmogorov–Smirnov test of the sample
+// against a normal distribution with the sample's own mean and SD. It
+// returns the KS statistic D and a conservative rejection decision at the
+// 5% level (Lilliefors critical value ≈ 0.886/√n for n > 30).
+func KSNormal(xs []float64) (d float64, rejectNormality bool) {
+	n := len(xs)
+	// Below ~20 samples the Lilliefors test has no useful power and its
+	// small-sample critical values are far above 0.886/√n; report the
+	// statistic but never reject.
+	if n < 20 {
+		if n >= 5 {
+			d, _ = ksStatistic(xs)
+		}
+		return d, false
+	}
+	d, ok := ksStatistic(xs)
+	if !ok {
+		return 0, false
+	}
+	crit := 0.886 / math.Sqrt(float64(n))
+	return d, d > crit
+}
+
+// ksStatistic computes the KS distance against the fitted normal; ok is
+// false for degenerate (constant) samples.
+func ksStatistic(xs []float64) (float64, bool) {
+	n := len(xs)
+	s := Summarize(xs)
+	if s.SD == 0 {
+		return 0, false // degenerate: constant sample
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var d float64
+	for i, x := range sorted {
+		z := (x - s.Mean) / s.SD
+		cdf := NormalCDF(z)
+		upper := float64(i+1)/float64(n) - cdf
+		lower := cdf - float64(i)/float64(n)
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return d, true
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation coefficient.
+// Near-zero values justify treating successive measurement-loop samples as
+// independent; strong positive lag-1 autocorrelation indicates drift (e.g.
+// thermal throttling) that would invalidate the CI computation.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Diagnostics summarises the health of one sample group.
+type Diagnostics struct {
+	KSStatistic    float64
+	NonNormal      bool
+	Lag1           float64
+	Autocorrelated bool
+	// OutlierFrac is the Tukey-fence outlier fraction.
+	OutlierFrac float64
+}
+
+// Diagnose runs all sample diagnostics.
+func Diagnose(xs []float64) Diagnostics {
+	var d Diagnostics
+	d.KSStatistic, d.NonNormal = KSNormal(xs)
+	d.Lag1 = Autocorrelation(xs, 1)
+	// |r1| > 2/sqrt(n) is the usual white-noise band.
+	if n := len(xs); n > 4 && math.Abs(d.Lag1) > 2/math.Sqrt(float64(n)) {
+		d.Autocorrelated = true
+	}
+	if len(xs) > 0 {
+		f := BoxStats(xs)
+		d.OutlierFrac = float64(len(f.Outliers)) / float64(len(xs))
+	}
+	return d
+}

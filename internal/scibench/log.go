@@ -1,0 +1,89 @@
+package scibench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Record is one measured sample: benchmark × size × device × sample index,
+// with per-region time, energy and the PAPI-style counters — the same schema
+// LibSciBench's trace files carry for the paper's R analysis scripts.
+type Record struct {
+	Benchmark string             `json:"benchmark"`
+	Size      string             `json:"size"`
+	Device    string             `json:"device"`
+	Class     string             `json:"class"`
+	Region    string             `json:"region"` // kernel | transfer | host
+	Sample    int                `json:"sample"`
+	TimeNs    float64            `json:"time_ns"`
+	EnergyJ   float64            `json:"energy_j,omitempty"`
+	Counters  map[string]float64 `json:"counters,omitempty"`
+}
+
+// WriteCSV emits records as CSV with a fixed header; counter columns are the
+// union of all counter names, sorted, so files from different benchmarks
+// align.
+func WriteCSV(w io.Writer, recs []Record) error {
+	names := map[string]bool{}
+	for _, r := range recs {
+		for k := range r.Counters {
+			names[k] = true
+		}
+	}
+	counters := make([]string, 0, len(names))
+	for k := range names {
+		counters = append(counters, k)
+	}
+	sort.Strings(counters)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"benchmark", "size", "device", "class", "region", "sample", "time_ns", "energy_j"}, counters...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			r.Benchmark, r.Size, r.Device, r.Class, r.Region,
+			strconv.Itoa(r.Sample),
+			strconv.FormatFloat(r.TimeNs, 'g', -1, 64),
+			strconv.FormatFloat(r.EnergyJ, 'g', -1, 64),
+		}
+		for _, c := range counters {
+			row = append(row, strconv.FormatFloat(r.Counters[c], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL emits records as JSON lines.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("scibench: record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses records back from JSON lines (for tooling round trips).
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

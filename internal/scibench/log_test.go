@@ -1,0 +1,67 @@
+package scibench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Benchmark: "kmeans", Size: "tiny", Device: "i7-6700k", Class: "CPU", Region: "kernel",
+			Sample: 0, TimeNs: 123456, EnergyJ: 0.05,
+			Counters: map[string]float64{"PAPI_TOT_INS": 1e6, "PAPI_L1_DCM": 100}},
+		{Benchmark: "kmeans", Size: "tiny", Device: "gtx1080", Class: "Consumer GPU", Region: "kernel",
+			Sample: 1, TimeNs: 65432, EnergyJ: 0.01,
+			Counters: map[string]float64{"PAPI_TOT_INS": 2e6, "PAPI_L2_DCM": 7}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2", len(lines))
+	}
+	header := lines[0]
+	// Counter columns are the sorted union across records.
+	if !strings.Contains(header, "PAPI_L1_DCM") || !strings.Contains(header, "PAPI_L2_DCM") {
+		t.Fatalf("header missing counter union: %s", header)
+	}
+	if !strings.HasPrefix(header, "benchmark,size,device,class,region,sample,time_ns,energy_j") {
+		t.Fatalf("unexpected header: %s", header)
+	}
+	if !strings.Contains(lines[1], "kmeans,tiny,i7-6700k,CPU,kernel,0,123456,0.05") {
+		t.Fatalf("row 1 malformed: %s", lines[1])
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("%d records back, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Benchmark != recs[i].Benchmark || back[i].TimeNs != recs[i].TimeNs ||
+			back[i].Counters["PAPI_TOT_INS"] != recs[i].Counters["PAPI_TOT_INS"] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestReadJSONLBad(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package scibench
+
+import "math"
+
+// This file implements the t-test power calculation the paper uses to choose
+// its sample size (§4.3): "A sample size of 50 per group … was used to
+// ensure that sufficient statistical power β = 0.8 would be available to
+// detect a significant difference in means on the scale of half standard
+// deviation of separation. This sample size was computed using the t-test
+// power calculation over a normal distribution."
+
+// SampleSizeTwoSample returns the per-group sample size for a two-sample
+// t-test (normal approximation) to detect an effect of d standard deviations
+// with significance alpha (two-sided) and power beta.
+func SampleSizeTwoSample(d, alpha, beta float64) int {
+	validateEffect(d, alpha, beta)
+	za := NormalQuantile(1 - alpha/2)
+	zb := NormalQuantile(beta)
+	n := 2 * (za + zb) * (za + zb) / (d * d)
+	return int(math.Ceil(n))
+}
+
+// SampleSizeOneSample returns the sample size for a one-sample (or paired)
+// t-test under the same approximation.
+func SampleSizeOneSample(d, alpha, beta float64) int {
+	validateEffect(d, alpha, beta)
+	za := NormalQuantile(1 - alpha/2)
+	zb := NormalQuantile(beta)
+	n := (za + zb) * (za + zb) / (d * d)
+	return int(math.Ceil(n))
+}
+
+// PowerTwoSample returns the achieved power of a two-sample t-test with n
+// samples per group at effect size d and two-sided significance alpha.
+func PowerTwoSample(n int, d, alpha float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	za := NormalQuantile(1 - alpha/2)
+	ncp := d * math.Sqrt(float64(n)/2)
+	return 1 - NormalCDF(za-ncp) + NormalCDF(-za-ncp)
+}
+
+// PaperSampleSize reproduces the paper's choice: 50 samples per group gives
+// power ≥ 0.8 for a separation of half a standard deviation under the
+// paper's calculation.
+func PaperSampleSize() int { return 50 }
+
+func validateEffect(d, alpha, beta float64) {
+	if d <= 0 {
+		panic("scibench: effect size must be positive")
+	}
+	if alpha <= 0 || alpha >= 1 || beta <= 0 || beta >= 1 {
+		panic("scibench: alpha and beta must lie in (0,1)")
+	}
+}
+
+// WelchTTest compares two sample groups without assuming equal variances,
+// returning the t statistic, Welch–Satterthwaite degrees of freedom, and the
+// two-sided p-value. This is the comparison the suite uses to decide whether
+// two devices differ significantly on a benchmark.
+func WelchTTest(a, b []float64) (t, df, p float64) {
+	sa, sb := Summarize(a), Summarize(b)
+	va := sa.SD * sa.SD / float64(sa.N)
+	vb := sb.SD * sb.SD / float64(sb.N)
+	if va+vb == 0 {
+		if sa.Mean == sb.Mean {
+			return 0, float64(sa.N + sb.N - 2), 1
+		}
+		return math.Inf(sign(sa.Mean - sb.Mean)), float64(sa.N + sb.N - 2), 0
+	}
+	t = (sa.Mean - sb.Mean) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	p = 2 * (1 - StudentCDF(math.Abs(t), df))
+	return t, df, p
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,108 @@
+package sim
+
+// The paper's §7 roadmap: "Additional architectures such as FPGA, DSP and
+// Radeon Open Compute based APUs — which further breaks down the walls
+// between the CPU and GPU — will be considered." This file provides model
+// entries for representative parts of each class so the suite can be
+// exercised against them today. They are deliberately kept out of the
+// Table 1 catalogue (Devices/Platforms) — the paper's evaluation does not
+// include them — and are reachable through FutureDevices and LookupFuture.
+//
+// Model notes:
+//   - FPGA (Intel/Altera Arria 10 GX, OpenCL SDK): pipelined kernels reach
+//     high efficiency on streaming code, but the soft clock is low, memory
+//     is a two-channel DDR4 interface, and every launch pays a large
+//     reconfiguration/enqueue cost.
+//   - DSP (TI Keystone II 66AK2H12, the architecture the paper cites via
+//     Mitra et al.): eight C66x cores with modest vector width, very low
+//     power, bandwidth-starved against GPUs.
+//   - APU (AMD A10-7850K "Kaveri", the integrated class the Chai suite
+//     targets): 8 GCN CUs sharing the CPU's DDR3 interface — GPU-style
+//     compute with CPU-style bandwidth, which is exactly the wall-breaking
+//     trade the paper highlights.
+var futureRegistry = []*DeviceSpec{
+	{
+		ID: "arria10", Name: "Arria 10 GX 1150", Vendor: "Intel", Class: FPGA, Series: "Arria 10",
+		CoreCount: 1518, CoreKind: "DSP blocks", CUs: 32, Lanes: 1518,
+		MinClockMHz: 300, MaxClockMHz: 450,
+		L1KiB: 64, L2KiB: 4096, // BRAM-backed local/global cache configuration
+		TDPWatts: 70, IdleWatts: 25, LaunchDate: "future (§7)",
+		PeakGFLOPS: 1366, VectorEff: 0.8, ScalarIPC: 0.4,
+		DRAMBandwidthGBs: 34, DRAMLatencyNs: 120, MLP: 64,
+		LaunchOverheadUs: 90, TransferGBs: 6, CVBase: 0.008,
+	},
+	{
+		ID: "keystone2", Name: "TI Keystone II 66AK2H12", Vendor: "TI", Class: DSP, Series: "C66x",
+		CoreCount: 8, CoreKind: "C66x DSP cores", CUs: 8, Lanes: 8 * 4,
+		MinClockMHz: 1200, MaxClockMHz: 1400,
+		L1KiB: 32, L2KiB: 1024,
+		TDPWatts: 14, IdleWatts: 4, LaunchDate: "future (§7)",
+		PeakGFLOPS: 179, VectorEff: 0.6, ScalarIPC: 1.5,
+		DRAMBandwidthGBs: 12.8, DRAMLatencyNs: 110, MLP: 16,
+		LaunchOverheadUs: 40, TransferGBs: 4, CVBase: 0.014,
+	},
+	{
+		ID: "a10-7850k", Name: "A10-7850K APU", Vendor: "AMD", Class: APU, Series: "Kaveri",
+		CoreCount: 512, CoreKind: "Stream processors", CUs: 8, Lanes: 512,
+		MinClockMHz: 654, MaxClockMHz: 720,
+		L1KiB: 16, L2KiB: 512,
+		TDPWatts: 95, IdleWatts: 10, LaunchDate: "future (§7)",
+		PeakGFLOPS: 737, VectorEff: 0.75, ScalarIPC: 0.55,
+		// Shares the CPU's dual-channel DDR3-2133.
+		DRAMBandwidthGBs: 25.6, DRAMLatencyNs: 120, MLP: 8 * 40,
+		// Integrated: no PCIe hop, cheap launches and zero-copy transfers —
+		// the wall the paper says these parts break down.
+		LaunchOverheadUs: 9, TransferGBs: 20, CVBase: 0.02,
+	},
+}
+
+// FutureDevices returns the §7 future-architecture catalogue.
+func FutureDevices() []*DeviceSpec {
+	out := make([]*DeviceSpec, len(futureRegistry))
+	copy(out, futureRegistry)
+	return out
+}
+
+// LookupFuture finds a device in either the Table 1 catalogue or the
+// future-architecture set.
+func LookupFuture(id string) (*DeviceSpec, error) {
+	if d, err := Lookup(id); err == nil {
+		return d, nil
+	}
+	for _, d := range futureRegistry {
+		if d.ID == id || d.Name == id {
+			return d, nil
+		}
+	}
+	return nil, errUnknownFuture(id)
+}
+
+func errUnknownFuture(id string) error {
+	known := make([]string, 0, len(futureRegistry))
+	for _, d := range futureRegistry {
+		known = append(known, d.ID)
+	}
+	return &unknownDeviceError{id: id, known: known}
+}
+
+// unknownDeviceError keeps LookupFuture's error informative without
+// colliding with Lookup's own formatting.
+type unknownDeviceError struct {
+	id    string
+	known []string
+}
+
+func (e *unknownDeviceError) Error() string {
+	return "sim: unknown device " + e.id + " (future catalogue: " + joinIDs(e.known) + ")"
+}
+
+func joinIDs(ids []string) string {
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += ", "
+		}
+		s += id
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/cache"
+)
+
+func TestFutureCatalogue(t *testing.T) {
+	devs := FutureDevices()
+	if len(devs) != 3 {
+		t.Fatalf("%d future devices, want 3 (FPGA, DSP, APU per §7)", len(devs))
+	}
+	classes := map[Class]bool{}
+	for _, d := range devs {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.ID, err)
+		}
+		classes[d.Class] = true
+	}
+	for _, c := range []Class{FPGA, DSP, APU} {
+		if !classes[c] {
+			t.Errorf("class %v missing from the future catalogue", c)
+		}
+	}
+}
+
+func TestFutureDevicesNotInTable1(t *testing.T) {
+	// The paper's evaluation covers exactly the Table 1 platforms; the §7
+	// parts must stay out of Devices() and Lookup().
+	if len(Devices()) != 15 {
+		t.Fatal("future devices leaked into the Table 1 catalogue")
+	}
+	if _, err := Lookup("arria10"); err == nil {
+		t.Fatal("Lookup must not resolve future devices")
+	}
+	if _, err := LookupFuture("arria10"); err != nil {
+		t.Fatalf("LookupFuture failed: %v", err)
+	}
+	if _, err := LookupFuture("i7-6700k"); err != nil {
+		t.Fatalf("LookupFuture must also cover Table 1: %v", err)
+	}
+	if _, err := LookupFuture("hal9000"); err == nil {
+		t.Fatal("unknown device accepted")
+	} else if !strings.Contains(err.Error(), "arria10") {
+		t.Fatalf("error should list the future catalogue: %v", err)
+	}
+}
+
+func TestFutureClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{FPGA: "FPGA", DSP: "DSP", APU: "APU"} {
+		if c.String() != want {
+			t.Errorf("%d -> %q", c, c.String())
+		}
+		if c.IsGPU() {
+			t.Errorf("%v misclassified as GPU", c)
+		}
+	}
+}
+
+func TestAPUBreaksTransferWall(t *testing.T) {
+	// §7: integrated APUs "break down the walls between the CPU and GPU":
+	// cheap launches and fast (zero-copy-style) transfers compared to the
+	// discrete parts.
+	apu, err := LookupFuture("a10-7850k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	discrete, _ := Lookup("r9-290x")
+	if apu.LaunchOverheadUs >= discrete.LaunchOverheadUs {
+		t.Fatal("APU launches should be cheaper than discrete AMD")
+	}
+	if apu.TransferGBs <= discrete.TransferGBs {
+		t.Fatal("APU transfers should beat PCIe")
+	}
+}
+
+func TestFPGAProfileOnStreamingKernel(t *testing.T) {
+	// FPGAs pipeline streaming kernels efficiently but pay heavily per
+	// launch: a tiny launch must be overhead-dominated, a huge streaming
+	// kernel bandwidth-limited.
+	fpga, err := LookupFuture("arria10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(fpga)
+	tiny := m.KernelTime(&KernelProfile{
+		Name: "s", WorkItems: 256, FlopsPerItem: 2, LoadBytesPerItem: 8,
+		WorkingSetBytes: 2 << 10, Pattern: cache.Streaming, Vectorizable: true,
+	})
+	if tiny.LaunchNs < 0.5*tiny.TotalNs {
+		t.Fatalf("tiny FPGA kernel should be launch-dominated: launch %.0f of %.0f", tiny.LaunchNs, tiny.TotalNs)
+	}
+	huge := m.KernelTime(&KernelProfile{
+		Name: "s", WorkItems: 1 << 24, FlopsPerItem: 2, LoadBytesPerItem: 16, StoreBytesPerItem: 8,
+		WorkingSetBytes: 512 << 20, Pattern: cache.Streaming, Vectorizable: true,
+	})
+	if huge.ComputeBnd {
+		t.Fatal("huge streaming kernel on a 34 GB/s FPGA must be memory-bound")
+	}
+}
+
+func TestDSPEnergyFrugality(t *testing.T) {
+	// The 14 W Keystone II should use less energy than the i7 on a
+	// bandwidth-light kernel even though it is slower.
+	dsp, _ := LookupFuture("keystone2")
+	cpu, _ := Lookup("i7-6700k")
+	p := &KernelProfile{
+		Name: "k", WorkItems: 1 << 16, FlopsPerItem: 50, LoadBytesPerItem: 8,
+		WorkingSetBytes: 1 << 20, Pattern: cache.Streaming, TemporalReuse: 0.6,
+		Vectorizable: true,
+	}
+	dm, cm := NewModel(dsp), NewModel(cpu)
+	db, cb := dm.KernelTime(p), cm.KernelTime(p)
+	if db.TotalNs <= cb.TotalNs {
+		t.Fatal("the DSP should be slower than the i7")
+	}
+	// Energy ∝ P·t with TDP 14 vs 91 W: the ~6.5x power gap must beat the
+	// time gap on this light kernel.
+	dEnergy := db.TotalNs * dsp.TDPWatts
+	cEnergy := cb.TotalNs * cpu.TDPWatts
+	if dEnergy >= cEnergy {
+		t.Fatalf("DSP energy proxy %.3g should undercut CPU %.3g", dEnergy, cEnergy)
+	}
+}

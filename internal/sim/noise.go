@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Noise is the measurement-variance model. The paper observes (§5.1) that
+// the coefficient of variation of kernel times is larger on devices with
+// lower clock frequency, regardless of accelerator class; we implement CV as
+// the device's CVBase scaled by an inverse-clock power law, and draw
+// multiplicative lognormal samples so times stay positive and right-skewed
+// like real OS-noise-contaminated measurements.
+type Noise struct {
+	rng *rand.Rand
+	cv  float64
+}
+
+// refClockMHz anchors the CV power law at the fastest device in the study
+// (the i7-6700K's 4.3 GHz turbo).
+const refClockMHz = 4300
+
+// NewNoise builds a deterministic noise source for a device; the seed string
+// (benchmark name, size, …) decorrelates streams between experiments while
+// keeping every run of the suite reproducible.
+func NewNoise(spec *DeviceSpec, seed string) *Noise {
+	h := fnv.New64a()
+	h.Write([]byte(spec.ID))
+	h.Write([]byte{0})
+	h.Write([]byte(seed))
+	return &Noise{
+		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
+		cv:  spec.CV(),
+	}
+}
+
+// CV returns the modelled coefficient of variation for kernel timings on
+// this device.
+func (d *DeviceSpec) CV() float64 {
+	clock := d.MaxClockMHz
+	if d.TurboClockMHz > clock {
+		clock = d.TurboClockMHz
+	}
+	if clock == 0 {
+		clock = d.MinClockMHz
+	}
+	return d.CVBase * math.Pow(refClockMHz/clock, 0.6)
+}
+
+// Sample perturbs a mean duration (ns) with one lognormal draw whose
+// coefficient of variation is cv/sqrt(n) — n being the number of kernel
+// iterations averaged into the sample, per the paper's ≥2 s measurement
+// loops (§4.3): averaging across iterations shrinks the variance of the
+// reported mean.
+func (no *Noise) Sample(meanNs float64, iterations int) float64 {
+	if meanNs <= 0 {
+		return 0
+	}
+	n := float64(iterations)
+	if n < 1 {
+		n = 1
+	}
+	cv := no.cv / math.Sqrt(n)
+	// Lognormal with mean 1 and standard deviation cv.
+	sigma2 := math.Log(1 + cv*cv)
+	mu := -sigma2 / 2
+	return meanNs * math.Exp(mu+math.Sqrt(sigma2)*no.rng.NormFloat64())
+}
+
+// SampleEnergy perturbs an energy estimate; power readings carry their own
+// sensor noise (±5 W on NVML per §5.2) modelled as one extra Gaussian watt
+// term over the sample duration.
+func (no *Noise) SampleEnergy(meanJ, durationS, sensorSigmaW float64) float64 {
+	if meanJ <= 0 {
+		return 0
+	}
+	e := no.Sample(meanJ*1e9, 1) / 1e9
+	e += no.rng.NormFloat64() * sensorSigmaW * durationS
+	if e < 0 {
+		e = 0
+	}
+	return e
+}

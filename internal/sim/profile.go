@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"opendwarfs/internal/cache"
+)
+
+// KernelProfile is the architecture-independent workload characterisation of
+// one kernel launch. Every dwarf benchmark computes one of these per enqueue;
+// the Model turns it into a per-device time estimate and counter set.
+//
+// The fields mirror what the paper's AIWC tool (§7) extracts from real
+// kernels: operation mix, memory traffic and footprint, access pattern,
+// branch behaviour and available parallelism.
+type KernelProfile struct {
+	// Name identifies the kernel for logs and counter reports.
+	Name string
+	// WorkItems is the global NDRange size of the launch.
+	WorkItems int64
+
+	// FlopsPerItem and IntOpsPerItem are the per-work-item operation
+	// counts (single-precision flops and integer/logical ops).
+	FlopsPerItem  float64
+	IntOpsPerItem float64
+
+	// LoadBytesPerItem and StoreBytesPerItem are per-work-item global
+	// memory traffic before caching.
+	LoadBytesPerItem  float64
+	StoreBytesPerItem float64
+
+	// WorkingSetBytes is the device-side footprint the kernel cycles over —
+	// the quantity the paper's §4.4 sizing methodology controls (Eq. 1).
+	WorkingSetBytes int64
+	// Pattern is the dominant access pattern.
+	Pattern cache.Pattern
+	// TemporalReuse is the fraction of accesses with immediate reuse that
+	// hit the first level regardless of footprint.
+	TemporalReuse float64
+
+	// BranchesPerItem is the number of conditional branches per item.
+	BranchesPerItem float64
+	// Divergence in [0,1] is the fraction of branch decisions that split a
+	// SIMD/SIMT group (costing both paths) — e.g. bounds tests in nqueens.
+	Divergence float64
+
+	// Coalescing in (0,1] is the fraction of peak memory throughput a
+	// GPU-style memory system achieves given the kernel's per-lane access
+	// layout. Row-per-work-item layouts (kmeans reading 26 consecutive
+	// floats per point) defeat coalescing entirely; zero means "unset" and
+	// is treated as 1. CPUs are unaffected — their prefetchers like exactly
+	// the layouts GPU coalescers hate.
+	Coalescing float64
+
+	// Vectorizable reports whether the kernel's inner work maps onto SIMD
+	// lanes. Table-driven byte-serial codes such as crc do not: they run
+	// one item per compute unit at scalar IPC, which is why CPUs win the
+	// Combinational Logic dwarf (Fig. 1).
+	Vectorizable bool
+	// SerialFraction in [0,1] is the fraction of total operations that are
+	// inherently sequential within the launch (Amdahl term): reduction
+	// tails, small wavefront diagonals, etc.
+	SerialFraction float64
+}
+
+// Validate reports an error for ill-formed profiles.
+func (p *KernelProfile) Validate() error {
+	switch {
+	case p.WorkItems <= 0:
+		return fmt.Errorf("sim: profile %q: no work items", p.Name)
+	case p.FlopsPerItem < 0 || p.IntOpsPerItem < 0:
+		return fmt.Errorf("sim: profile %q: negative op counts", p.Name)
+	case p.LoadBytesPerItem < 0 || p.StoreBytesPerItem < 0:
+		return fmt.Errorf("sim: profile %q: negative traffic", p.Name)
+	case p.Divergence < 0 || p.Divergence > 1:
+		return fmt.Errorf("sim: profile %q: divergence out of [0,1]", p.Name)
+	case p.SerialFraction < 0 || p.SerialFraction > 1:
+		return fmt.Errorf("sim: profile %q: serial fraction out of [0,1]", p.Name)
+	case p.TemporalReuse < 0 || p.TemporalReuse > 1:
+		return fmt.Errorf("sim: profile %q: temporal reuse out of [0,1]", p.Name)
+	case p.Coalescing < 0 || p.Coalescing > 1:
+		return fmt.Errorf("sim: profile %q: coalescing out of [0,1]", p.Name)
+	}
+	return nil
+}
+
+// TotalOps returns the total operation count of the launch.
+func (p *KernelProfile) TotalOps() float64 {
+	return float64(p.WorkItems) * (p.FlopsPerItem + p.IntOpsPerItem)
+}
+
+// TotalBytes returns total pre-cache memory traffic of the launch.
+func (p *KernelProfile) TotalBytes() float64 {
+	return float64(p.WorkItems) * (p.LoadBytesPerItem + p.StoreBytesPerItem)
+}
+
+// ArithmeticIntensity returns flops per byte of pre-cache traffic, the
+// classic roofline x-axis. Returns +Inf-free 0 when there is no traffic.
+func (p *KernelProfile) ArithmeticIntensity() float64 {
+	b := p.TotalBytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(p.WorkItems) * p.FlopsPerItem / b
+}

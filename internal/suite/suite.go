@@ -1,0 +1,40 @@
+// Package suite assembles the Extended OpenDwarfs benchmark registry: the
+// 11 benchmarks of the paper in Table 2 order, each representing one
+// Berkeley dwarf (§2, §5).
+package suite
+
+import (
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/dwarfs/crc"
+	"opendwarfs/internal/dwarfs/csr"
+	"opendwarfs/internal/dwarfs/dwt"
+	"opendwarfs/internal/dwarfs/fft"
+	"opendwarfs/internal/dwarfs/gem"
+	"opendwarfs/internal/dwarfs/hmm"
+	"opendwarfs/internal/dwarfs/kmeans"
+	"opendwarfs/internal/dwarfs/lud"
+	"opendwarfs/internal/dwarfs/nqueens"
+	"opendwarfs/internal/dwarfs/nw"
+	"opendwarfs/internal/dwarfs/srad"
+)
+
+// New returns the full suite registry in Table 2 order.
+func New() *dwarfs.Registry {
+	reg, err := dwarfs.NewRegistry(
+		kmeans.New(),
+		lud.New(),
+		csr.New(),
+		fft.New(),
+		dwt.New(),
+		srad.New(),
+		crc.New(),
+		nw.New(),
+		gem.New(),
+		nqueens.New(),
+		hmm.New(),
+	)
+	if err != nil {
+		panic(err) // static registration cannot collide
+	}
+	return reg
+}

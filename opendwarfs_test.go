@@ -1,0 +1,85 @@
+package opendwarfs
+
+import (
+	"testing"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Samples = 8
+	return o
+}
+
+func TestSuiteComposition(t *testing.T) {
+	reg := Suite()
+	if got := len(reg.All()); got != 11 {
+		t.Fatalf("%d benchmarks, want 11", got)
+	}
+	dwarves := map[string]bool{}
+	for _, b := range reg.All() {
+		dwarves[b.Dwarf()] = true
+	}
+	// §2/§5: the suite covers ten distinct Berkeley dwarfs (fft and dwt
+	// share Spectral Methods).
+	if len(dwarves) != 10 {
+		t.Fatalf("%d distinct dwarfs, want 10", len(dwarves))
+	}
+}
+
+func TestDevicesComposition(t *testing.T) {
+	if got := len(Devices()); got != 15 {
+		t.Fatalf("%d devices, want 15", got)
+	}
+	if _, err := LookupDevice("gtx1080"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupDevice("quantum-9"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if got := len(Sizes()); got != 4 {
+		t.Fatalf("%d sizes", got)
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	res, err := Run("csr", "tiny", "i7-6700k", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("tiny csr should verify")
+	}
+	if res.Kernel.Median <= 0 {
+		t.Fatal("no timing")
+	}
+}
+
+func TestRunFacadeErrors(t *testing.T) {
+	if _, err := Run("nope", "tiny", "i7-6700k", quickOpts()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Run("csr", "tiny", "nope", quickOpts()); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := Run("nqueens", "large", "i7-6700k", quickOpts()); err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+}
+
+func TestRunGridFacade(t *testing.T) {
+	opt := quickOpts()
+	opt.MaxFunctionalOps = 0
+	opt.Verify = false
+	g, err := RunGrid(GridSpec{
+		Benchmarks: []string{"fft"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+		Options:    opt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Measurements) != 2 {
+		t.Fatalf("%d cells", len(g.Measurements))
+	}
+}
