@@ -3,18 +3,23 @@
 //
 //	dwarfbench -b kmeans -size tiny -p 0 -d 0 -t 0
 //	dwarfbench -b srad -size large -device gtx1080 -csv out.csv
+//	dwarfbench -b fft -size all -parallel 4
 //
 // Device selection supports both the paper's platform/device/type triplet
 // (-p/-d/-t) and direct catalogue IDs (-device). The tool prints the Table 3
 // argument string it reproduces, the measured statistics, and optionally the
-// raw LibSciBench-style samples as CSV or JSONL.
+// raw LibSciBench-style samples as CSV or JSONL. -size accepts a single
+// size, a comma-separated list, or "all"; multi-size runs go through the
+// grid harness, where -parallel workers share one preparation per size.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/report"
@@ -25,7 +30,8 @@ import (
 func main() {
 	var (
 		benchName = flag.String("b", "", "benchmark name (kmeans, lud, csr, fft, dwt, srad, crc, nw, gem, nqueens, hmm)")
-		size      = flag.String("size", "tiny", "problem size: tiny, small, medium, large")
+		size      = flag.String("size", "tiny", "problem size(s): tiny, small, medium, large, a comma-separated list, or all")
+		parallel  = flag.Int("parallel", 0, "concurrent workers for multi-size runs (0 = GOMAXPROCS)")
 		deviceID  = flag.String("device", "", "device catalogue ID (e.g. i7-6700k); overrides -p/-d/-t")
 		platform  = flag.Int("p", 0, "platform index (paper notation)")
 		device    = flag.Int("d", 0, "device index within platform")
@@ -70,11 +76,21 @@ func main() {
 
 	opt := harness.DefaultOptions()
 	opt.Samples = *samples
+
+	sizes := sizeList(*size, b)
+	if len(sizes) > 1 {
+		runSizes(reg, b, sizes, dev, opt, *parallel, *csvPath, *jsonlPath, *aiwcFlag)
+		return
+	}
+	if *parallel != 0 {
+		fmt.Fprintln(os.Stderr, "dwarfbench: -parallel has no effect on a single-size run")
+	}
+
 	fmt.Printf("Benchmark : %s (%s dwarf)\n", b.Name(), b.Dwarf())
-	fmt.Printf("Arguments : %s %s\n", b.Name(), b.ArgString(*size))
+	fmt.Printf("Arguments : %s %s\n", b.Name(), b.ArgString(sizes[0]))
 	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
 
-	m, err := harness.Run(b, *size, dev, opt)
+	m, err := harness.Run(b, sizes[0], dev, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,21 +116,90 @@ func main() {
 		report.AIWCTable(os.Stdout, g)
 	}
 
-	if *csvPath != "" {
-		if err := writeFile(*csvPath, func(f *os.File) error {
-			return scibench.WriteCSV(f, m.Records())
-		}); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("Samples   : CSV written to %s\n", *csvPath)
+	writeSamples(*csvPath, *jsonlPath, m.Records)
+}
+
+// sizeList expands the -size flag: "all" means every size the benchmark
+// supports; otherwise a comma-separated list, every entry of which must be
+// supported — a typo'd size is an error here, not a silent skip.
+func sizeList(flagVal string, b dwarfs.Benchmark) []string {
+	if strings.TrimSpace(flagVal) == "all" {
+		return b.Sizes()
 	}
-	if *jsonlPath != "" {
-		if err := writeFile(*jsonlPath, func(f *os.File) error {
-			return scibench.WriteJSONL(f, m.Records())
+	var sizes []string
+	seen := map[string]bool{}
+	for _, s := range strings.Split(flagVal, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			if !dwarfs.SupportsSize(b, s) {
+				fatal(fmt.Errorf("%s does not support size %q (has %v)", b.Name(), s, b.Sizes()))
+			}
+			if seen[s] {
+				fatal(fmt.Errorf("duplicate size %q in -size", s))
+			}
+			seen[s] = true
+			sizes = append(sizes, s)
+		}
+	}
+	if len(sizes) == 0 {
+		fatal(fmt.Errorf("empty -size"))
+	}
+	return sizes
+}
+
+// runSizes measures one benchmark × device across several sizes through
+// the grid harness, sharing one preparation per size across workers.
+func runSizes(reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool) {
+	fmt.Printf("Benchmark : %s (%s dwarf), sizes %v\n", b.Name(), b.Dwarf(), sizes)
+	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
+	g, err := harness.RunGrid(reg, harness.GridSpec{
+		Benchmarks: []string{b.Name()},
+		Sizes:      sizes,
+		Devices:    []string{dev.ID()},
+		Options:    opt,
+		Workers:    workers,
+		Progress:   os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d cells measured\n", g.Cells())
+
+	if aiwc {
+		fmt.Println()
+		report.AIWCTable(os.Stdout, g)
+	}
+	writeSamples(csvPath, jsonlPath, func() []scibench.Record {
+		var recs []scibench.Record
+		for _, m := range g.Measurements {
+			recs = append(recs, m.Records()...)
+		}
+		return recs
+	})
+}
+
+// writeSamples writes the raw LibSciBench-style sample records to the
+// requested CSV and/or JSONL paths. records is only invoked when at least
+// one output path is set.
+func writeSamples(csvPath, jsonlPath string, records func() []scibench.Record) {
+	if csvPath == "" && jsonlPath == "" {
+		return
+	}
+	recs := records()
+	if csvPath != "" {
+		if err := writeFile(csvPath, func(f *os.File) error {
+			return scibench.WriteCSV(f, recs)
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("Samples   : JSONL written to %s\n", *jsonlPath)
+		fmt.Printf("Samples   : CSV written to %s\n", csvPath)
+	}
+	if jsonlPath != "" {
+		if err := writeFile(jsonlPath, func(f *os.File) error {
+			return scibench.WriteJSONL(f, recs)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Samples   : JSONL written to %s\n", jsonlPath)
 	}
 }
 

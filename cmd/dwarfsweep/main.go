@@ -4,6 +4,11 @@
 // narrow each axis.
 //
 //	dwarfsweep -benchmarks crc,srad -sizes tiny,large -csv sweep.csv
+//
+// Cells are measured by -parallel concurrent workers (default: one per
+// CPU); each benchmark × size row is prepared once and shared across all
+// of its devices, and the resulting grid is identical at every worker
+// count.
 package main
 
 import (
@@ -23,6 +28,7 @@ func main() {
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark names (default: all)")
 		sizes      = flag.String("sizes", "", "comma-separated sizes (default: all supported)")
 		devices    = flag.String("devices", "", "comma-separated device IDs (default: all 15)")
+		parallel   = flag.Int("parallel", 0, "concurrent grid workers (0 = GOMAXPROCS, 1 = sequential)")
 		samples    = flag.Int("samples", scibench.PaperSampleSize(), "samples per group")
 		budget     = flag.Float64("funcops", harness.DefaultOptions().MaxFunctionalOps, "functional execution budget in operations (0 = timing model only)")
 		csvPath    = flag.String("csv", "", "write per-cell figure series CSV")
@@ -42,6 +48,7 @@ func main() {
 		Sizes:      split(*sizes),
 		Devices:    split(*devices),
 		Options:    opt,
+		Workers:    *parallel,
 		Progress:   os.Stdout,
 	}
 	reg := suite.New()
@@ -50,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n%d grid cells measured\n", len(grid.Measurements))
+	fmt.Printf("\n%d grid cells measured\n", grid.Cells())
 
 	if *boxes {
 		seen := map[string]bool{}

@@ -24,9 +24,12 @@ func main() {
 	opt.Verify = false
 
 	// One size per benchmark keeps this quick; profiles are what matter.
+	// Workers: 0 measures cells on all CPUs, one shared preparation per
+	// benchmark × size row.
 	grid, err := harness.RunGrid(suite.New(), harness.GridSpec{
 		Sizes:   []string{"small", "tiny"}, // tiny covers nqueens
 		Options: opt,
+		Workers: 0,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module opendwarfs
+
+go 1.24.0

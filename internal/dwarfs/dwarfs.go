@@ -35,6 +35,18 @@ func ValidSize(s string) bool {
 	return false
 }
 
+// SupportsSize reports whether a benchmark supports the named problem
+// size. It is the single size-membership helper shared by the harness grid
+// planner and the public facade.
+func SupportsSize(b Benchmark, size string) bool {
+	for _, s := range b.Sizes() {
+		if s == size {
+			return true
+		}
+	}
+	return false
+}
+
 // Benchmark is one suite entry.
 type Benchmark interface {
 	// Name is the suite identifier (kmeans, lud, csr, fft, dwt, srad, crc,

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"opendwarfs/internal/dwarfs"
+)
+
+// prepKey identifies one device-independent preparation: datasets,
+// characterisation traces and verification verdicts depend only on the
+// benchmark, its problem size and the generation seed — never on the
+// device. Budget- and verification-relevant options are uniform within one
+// grid run (GridSpec carries a single Options), so they are deliberately
+// not part of the key; the cache is scoped to one RunGrid invocation.
+type prepKey struct {
+	bench string
+	size  string
+	seed  int64
+}
+
+// prepCache memoises Prepare results so every device of a grid row shares
+// one dataset generation, characterisation pass and functional
+// verification. Concurrent requests for the same key block on a per-entry
+// sync.Once: exactly one goroutine prepares while the rest wait, then all
+// share the same *Preparation.
+type prepCache struct {
+	mu      sync.Mutex
+	entries map[prepKey]*prepEntry
+}
+
+type prepEntry struct {
+	once sync.Once
+	prep *Preparation
+	err  error
+}
+
+func newPrepCache() *prepCache {
+	return &prepCache{entries: make(map[prepKey]*prepEntry)}
+}
+
+// prepare returns the cached preparation for (bench, size, opt.Seed),
+// running Prepare exactly once per key.
+func (c *prepCache) prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, error) {
+	key := prepKey{bench: bench.Name(), size: size, seed: opt.Seed}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &prepEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		// A panic escaping once.Do would permanently poison the entry
+		// with (nil, nil) for concurrent waiters; surface it as the
+		// entry's error instead.
+		defer func() {
+			if r := recover(); r != nil {
+				e.prep, e.err = nil, fmt.Errorf("harness: prepare %s/%s panicked: %v", bench.Name(), size, r)
+			}
+		}()
+		e.prep, e.err = Prepare(bench, size, opt)
+	})
+	return e.prep, e.err
+}
+
+// len reports the number of distinct keys prepared so far.
+func (c *prepCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -3,6 +3,9 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/opencl"
@@ -17,7 +20,16 @@ type GridSpec struct {
 	// Devices by catalogue ID; empty = all 15 platforms.
 	Devices []string
 	Options Options
+	// Workers is the number of goroutines measuring cells concurrently.
+	// 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs the grid
+	// sequentially in grid order, reproducing the single-threaded
+	// behaviour exactly. Results are deterministic and identical at every
+	// worker count — cells are pure functions of (benchmark, size,
+	// device, seed), never of execution order.
+	Workers int
 	// Progress, when non-nil, receives one line per completed cell.
+	// Writes are serialised; under concurrency lines arrive in completion
+	// order, each prefixed with a "cell k/n" counter.
 	Progress io.Writer
 }
 
@@ -27,15 +39,23 @@ type Grid struct {
 	Measurements []*Measurement
 }
 
-// RunGrid measures every selected cell.
-func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
+// gridCell is one planned benchmark × size × device measurement.
+type gridCell struct {
+	bench dwarfs.Benchmark
+	size  string
+	dev   *opencl.Device
+}
+
+// planCells expands a spec into the ordered cell list (grid order:
+// benchmark-major, then size, then device).
+func planCells(reg *dwarfs.Registry, spec GridSpec) ([]gridCell, int, error) {
 	benches := reg.All()
 	if len(spec.Benchmarks) > 0 {
 		benches = benches[:0:0]
 		for _, name := range spec.Benchmarks {
 			b, err := reg.Get(name)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			benches = append(benches, b)
 		}
@@ -47,19 +67,19 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 		for _, id := range spec.Devices {
 			d, err := opencl.LookupDevice(id)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			devices = append(devices, d)
 		}
 	}
 
-	g := &Grid{}
+	var cells []gridCell
 	for _, b := range benches {
 		sizes := b.Sizes()
 		if len(spec.Sizes) > 0 {
 			sizes = sizes[:0:0]
 			for _, s := range spec.Sizes {
-				if !supportsSize(b, s) {
+				if !dwarfs.SupportsSize(b, s) {
 					continue
 				}
 				sizes = append(sizes, s)
@@ -67,20 +87,135 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 		}
 		for _, size := range sizes {
 			for _, dev := range devices {
-				m, err := Run(b, size, dev, spec.Options)
-				if err != nil {
-					return nil, fmt.Errorf("harness: grid cell %s/%s/%s: %w", b.Name(), size, dev.ID(), err)
-				}
-				g.Measurements = append(g.Measurements, m)
-				if spec.Progress != nil {
-					fmt.Fprintf(spec.Progress, "%-8s %-7s %-12s median %12.3f ms  CV %5.3f  energy %8.3f J%s\n",
-						m.Benchmark, m.Size, m.Device.ID,
-						m.Kernel.Median/1e6, m.Kernel.CV, m.Energy.Median, verifiedTag(m))
-				}
+				cells = append(cells, gridCell{bench: b, size: size, dev: dev})
 			}
 		}
 	}
-	return g, nil
+	return cells, len(devices), nil
+}
+
+// dispatchOrder decides which cell each worker pulls next. A single worker
+// walks the grid in order. Multiple workers walk it device-major (all rows'
+// first device, then all rows' second device, …) so that the first W cells
+// touch W different rows and their device-independent preparations run
+// concurrently instead of serialising on one row's cache entry.
+func dispatchOrder(nCells, nDevices, workers int) []int {
+	order := make([]int, 0, nCells)
+	if workers <= 1 || nDevices <= 1 {
+		for i := 0; i < nCells; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	for d := 0; d < nDevices; d++ {
+		for i := d; i < nCells; i += nDevices {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// RunGrid measures every selected cell, dispatching them across
+// spec.Workers goroutines. Each row (benchmark × size) is prepared once —
+// dataset, characterisation, functional verification — and shared by all
+// of its devices; see Prepare/Measure. Measurements come back in grid
+// order regardless of worker count, and a parallel grid is cell-for-cell
+// identical to a sequential one.
+func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
+	cells, nDevices, err := planCells(reg, spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return &Grid{}, nil
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var (
+		cache    = newPrepCache()
+		results  = make([]*Measurement, len(cells))
+		errs     = make([]error, len(cells))
+		order    = dispatchOrder(len(cells), nDevices, workers)
+		next     atomic.Int64
+		done     atomic.Int64
+		stopped  atomic.Bool
+		progress sync.Mutex
+		wg       sync.WaitGroup
+	)
+
+	runCell := func(i int) (err error) {
+		c := cells[i]
+		// Workers run on their own goroutines, where an escaping panic
+		// would abort the process with no chance for the caller to
+		// recover; convert it to a cell error instead.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("harness: grid cell %s/%s/%s panicked: %v", c.bench.Name(), c.size, c.dev.ID(), r)
+			}
+		}()
+		p, err := cache.prepare(c.bench, c.size, spec.Options)
+		if err != nil {
+			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
+		}
+		m, err := p.Measure(c.dev, spec.Options)
+		if err != nil {
+			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
+		}
+		results[i] = m
+		if spec.Progress != nil {
+			progress.Lock()
+			fmt.Fprintf(spec.Progress, "cell %d/%d  %-8s %-7s %-12s median %12.3f ms  CV %5.3f  energy %8.3f J%s\n",
+				done.Add(1), len(cells),
+				m.Benchmark, m.Size, m.Device.ID,
+				m.Kernel.Median/1e6, m.Kernel.CV, m.Energy.Median, verifiedTag(m))
+			progress.Unlock()
+		}
+		return nil
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			if stopped.Load() {
+				return
+			}
+			n := int(next.Add(1)) - 1
+			if n >= len(order) {
+				return
+			}
+			i := order[n]
+			if err := runCell(i); err != nil {
+				errs[i] = err
+				stopped.Store(true)
+				return
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	// Error selection: the earliest failing cell in grid order among
+	// those attempted. With Workers: 1 this is exactly the sequential
+	// harness's first error; under concurrency which cells were attempted
+	// before the stop flag landed depends on scheduling, so a different
+	// (equally genuine) cell's error may surface across runs.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Grid{Measurements: results}, nil
 }
 
 func verifiedTag(m *Measurement) string {
@@ -94,16 +229,11 @@ func verifiedTag(m *Measurement) string {
 	}
 }
 
-func supportsSize(b dwarfs.Benchmark, size string) bool {
-	for _, s := range b.Sizes() {
-		if s == size {
-			return true
-		}
-	}
-	return false
-}
+// Cells returns the number of measured cells.
+func (g *Grid) Cells() int { return len(g.Measurements) }
 
-// Find returns the measurement for a cell, or nil.
+// Find returns the measurement for a cell, or nil. The miss path is
+// allocation-free.
 func (g *Grid) Find(bench, size, deviceID string) *Measurement {
 	for _, m := range g.Measurements {
 		if m.Benchmark == bench && m.Size == size && m.Device.ID == deviceID {
@@ -113,9 +243,19 @@ func (g *Grid) Find(bench, size, deviceID string) *Measurement {
 	return nil
 }
 
-// ByBenchmark returns all measurements of one benchmark, grid order.
+// ByBenchmark returns all measurements of one benchmark, grid order. The
+// miss path is allocation-free, and hits allocate exactly once.
 func (g *Grid) ByBenchmark(bench string) []*Measurement {
-	var out []*Measurement
+	n := 0
+	for _, m := range g.Measurements {
+		if m.Benchmark == bench {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*Measurement, 0, n)
 	for _, m := range g.Measurements {
 		if m.Benchmark == bench {
 			out = append(out, m)

@@ -1,0 +1,109 @@
+package harness
+
+// Grid-harness benchmarks: the sequential/parallel pair quantifies the
+// worker-pool speedup on a 60-cell grid (3 benchmarks × 4 sizes × 5
+// devices). Both share the per-row preparation cache, so the pair isolates
+// the dispatch win; BenchmarkRunGridUncachedCells isolates the cache win
+// by measuring the same row the pre-cache harness re-prepared per device.
+//
+//	go test ./internal/harness -bench RunGrid -benchtime 3x
+
+import (
+	"runtime"
+	"testing"
+
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/suite"
+)
+
+func benchGridSpec(workers int) GridSpec {
+	opt := DefaultOptions()
+	opt.Samples = 8
+	return GridSpec{
+		Benchmarks: []string{"kmeans", "csr", "srad"},
+		Sizes:      []string{"tiny", "small", "medium", "large"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m", "r9-290x", "knl-7210"},
+		Options:    opt,
+		Workers:    workers,
+	}
+}
+
+func runGridBenchmark(b *testing.B, workers int) {
+	reg := suite.New()
+	b.ReportMetric(float64(workers), "workers")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := RunGrid(reg, benchGridSpec(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Cells() != 60 {
+			b.Fatalf("%d cells, want 60", g.Cells())
+		}
+	}
+}
+
+// BenchmarkRunGridSequential is the Workers: 1 baseline.
+func BenchmarkRunGridSequential(b *testing.B) { runGridBenchmark(b, 1) }
+
+// BenchmarkRunGridParallel dispatches the same grid across one worker per
+// CPU. On a ≥4-core machine the wall-clock ratio to the sequential
+// baseline approaches the core count, because row preparations and cell
+// measurements overlap freely.
+func BenchmarkRunGridParallel(b *testing.B) { runGridBenchmark(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkRunGridUncachedCells measures one row the way the pre-cache
+// harness did: a full Prepare per device. Comparing against
+// BenchmarkRunGridCachedCells shows the per-row characterisation cost the
+// cache removes for 14 of every 15 devices.
+func BenchmarkRunGridUncachedCells(b *testing.B) {
+	reg := suite.New()
+	bench, err := reg.Get("srad")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Samples = 8
+	devs := []string{"i7-6700k", "gtx1080", "k20m", "r9-290x", "knl-7210"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range devs {
+			dev, err := opencl.LookupDevice(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Run(bench, "small", dev, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunGridCachedCells is the same row through the shared cache.
+func BenchmarkRunGridCachedCells(b *testing.B) {
+	reg := suite.New()
+	bench, err := reg.Get("srad")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Samples = 8
+	devs := []string{"i7-6700k", "gtx1080", "k20m", "r9-290x", "knl-7210"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := newPrepCache()
+		for _, id := range devs {
+			dev, err := opencl.LookupDevice(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := c.prepare(bench, "small", opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Measure(dev, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

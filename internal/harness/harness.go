@@ -96,8 +96,60 @@ type Measurement struct {
 	Diagnostics scibench.Diagnostics
 }
 
-// Run measures one benchmark × size × device group.
-func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (*Measurement, error) {
+// traceCommand is one replayable entry of a preparation's command trace:
+// the device-independent description of an enqueued command. Kernel entries
+// carry the workload profile; transfer entries the byte volume. Replaying
+// the trace through a device's analytical model reproduces exactly the
+// event stream Iterate would have produced on that device.
+type traceCommand struct {
+	kind    opencl.CommandKind
+	name    string
+	bytes   int64
+	profile *sim.KernelProfile
+}
+
+// Preparation holds everything about a benchmark × size × seed
+// configuration that does not depend on the target device: the generated
+// dataset's footprint, the characterisation command trace, the
+// functional-budget decision, and the serial-reference verification
+// verdict. One Preparation can be Measured on any number of devices; the
+// grid runner caches them so the 15 devices of one row share a single
+// prepare (see cache.go).
+type Preparation struct {
+	Benchmark string
+	Dwarf     string
+	Size      string
+
+	// FootprintBytes is the verified device-side memory usage (Eq. 1).
+	FootprintBytes int64
+	// KernelLaunches is the number of kernel enqueues per iteration.
+	KernelLaunches int
+	// TotalOps is the characterised operation count of one iteration,
+	// the input to the functional-budget decision.
+	TotalOps float64
+	// Functional reports whether kernels actually executed during
+	// preparation (vs timing model only); Verified whether the serial
+	// reference check passed.
+	Functional bool
+	Verified   bool
+
+	// trace is the per-iteration command stream (kernels + transfers) in
+	// enqueue order; profiles holds one entry per distinct kernel in
+	// first-launch order.
+	trace    []traceCommand
+	profiles []*sim.KernelProfile
+}
+
+// prepDevice returns the device used to drive preparation passes. Workload
+// profiles, datasets and verification verdicts are device-independent, so
+// any catalogue entry works; the first is used for determinism.
+func prepDevice() *opencl.Device { return opencl.AllDevices()[0] }
+
+// Prepare runs the device-independent phase for one benchmark × size ×
+// seed configuration: instance construction, dataset generation and setup,
+// the simulate-only characterisation pass, the functional-budget decision
+// and (within budget) one functionally-executed, verified iteration.
+func Prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, error) {
 	if opt.Samples <= 0 || opt.MinLoopNs <= 0 {
 		return nil, fmt.Errorf("harness: non-positive sampling options")
 	}
@@ -105,6 +157,7 @@ func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (
 	if err != nil {
 		return nil, err
 	}
+	dev := prepDevice()
 	ctx, err := opencl.NewContext(dev)
 	if err != nil {
 		return nil, err
@@ -114,11 +167,10 @@ func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (
 		return nil, err
 	}
 
-	m := &Measurement{
+	p := &Preparation{
 		Benchmark: bench.Name(),
 		Dwarf:     bench.Dwarf(),
 		Size:      size,
-		Device:    dev.Spec,
 	}
 
 	// Host setup + initial transfers.
@@ -128,7 +180,7 @@ func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (
 	if err := dwarfs.CheckFootprint(inst, ctx); err != nil {
 		return nil, err
 	}
-	m.FootprintBytes = inst.FootprintBytes()
+	p.FootprintBytes = inst.FootprintBytes()
 	q.DrainEvents()
 
 	// Characterisation pass: simulate-only, to cost the configuration.
@@ -137,55 +189,98 @@ func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (
 		return nil, fmt.Errorf("harness: %s/%s characterisation: %w", bench.Name(), size, err)
 	}
 	events := q.DrainEvents()
-	totalOps := 0.0
 	for _, ev := range events {
 		if ev.Kind == opencl.CommandKernel {
-			totalOps += ev.Profile.TotalOps()
-			m.KernelLaunches++
+			p.TotalOps += ev.Profile.TotalOps()
+			p.KernelLaunches++
 		}
 	}
 
 	// Functional pass within budget; its events replace the estimate
 	// (identical profiles, but the run is the one that gets verified).
-	if totalOps <= opt.MaxFunctionalOps {
+	if p.TotalOps <= opt.MaxFunctionalOps {
 		q.SetSimulateOnly(false)
 		q.ResetTimeline()
 		if err := inst.Iterate(q); err != nil {
 			return nil, fmt.Errorf("harness: %s/%s execution: %w", bench.Name(), size, err)
 		}
 		events = q.DrainEvents()
-		m.Functional = true
+		p.Functional = true
 		if opt.Verify {
 			if err := inst.Verify(); err != nil {
 				return nil, fmt.Errorf("harness: %s/%s verification: %w", bench.Name(), size, err)
 			}
-			m.Verified = true
+			p.Verified = true
 		}
 	}
 
-	// Per-iteration means from the event timeline.
-	kernelNs := opencl.KernelNs(events)
-	transferNs := opencl.TransferNs(events)
-	if kernelNs <= 0 {
-		return nil, fmt.Errorf("harness: %s/%s produced no kernel time", bench.Name(), size)
-	}
-
-	// Energy and counters per iteration.
-	meter := power.NewMeter(dev.Spec)
-	m.MeterScope = meter.Scope
-	model := dev.Model()
-	energyJ := 0.0
+	hasKernel := false
 	seenKernels := map[string]bool{}
+	p.trace = make([]traceCommand, 0, len(events))
 	for _, ev := range events {
+		p.trace = append(p.trace, traceCommand{
+			kind: ev.Kind, name: ev.Name, bytes: ev.Bytes, profile: ev.Profile,
+		})
 		if ev.Kind != opencl.CommandKernel {
 			continue
 		}
-		energyJ += meter.KernelEnergy(model, ev.Breakdown)
-		m.Counters.Add(papi.Derive(dev.Spec, ev.Profile, ev.Breakdown.Traffic, ev.Breakdown.TotalNs))
+		hasKernel = true
 		if !seenKernels[ev.Name] {
 			seenKernels[ev.Name] = true
-			m.Profiles = append(m.Profiles, ev.Profile)
+			p.profiles = append(p.profiles, ev.Profile)
 		}
+	}
+	if !hasKernel {
+		return nil, fmt.Errorf("harness: %s/%s produced no kernel time", bench.Name(), size)
+	}
+	return p, nil
+}
+
+// Measure runs the device-dependent phase: it replays the preparation's
+// command trace through the device's analytical model to obtain kernel,
+// transfer and energy estimates plus derived counters, then draws the
+// paper's ≥2 s measurement-loop samples from the device's noise model. The
+// noise stream is seeded by (device, benchmark, size) alone, so a
+// Measurement is a pure function of its cell — independent of the order in
+// which grid cells run.
+func (p *Preparation) Measure(dev *opencl.Device, opt Options) (*Measurement, error) {
+	if opt.Samples <= 0 || opt.MinLoopNs <= 0 {
+		return nil, fmt.Errorf("harness: non-positive sampling options")
+	}
+	if dev == nil {
+		return nil, fmt.Errorf("harness: %s/%s measured on a nil device", p.Benchmark, p.Size)
+	}
+
+	m := &Measurement{
+		Benchmark:      p.Benchmark,
+		Dwarf:          p.Dwarf,
+		Size:           p.Size,
+		Device:         dev.Spec,
+		Functional:     p.Functional,
+		Verified:       p.Verified,
+		FootprintBytes: p.FootprintBytes,
+		KernelLaunches: p.KernelLaunches,
+		Profiles:       p.profiles,
+	}
+
+	// Per-iteration means, energy and counters from the replayed trace.
+	meter := power.NewMeter(dev.Spec)
+	m.MeterScope = meter.Scope
+	model := dev.Model()
+	kernelNs, transferNs, energyJ := 0.0, 0.0, 0.0
+	for _, c := range p.trace {
+		switch c.kind {
+		case opencl.CommandKernel:
+			bd := model.KernelTime(c.profile)
+			kernelNs += bd.TotalNs
+			energyJ += meter.KernelEnergy(model, bd)
+			m.Counters.Add(papi.Derive(dev.Spec, c.profile, bd.Traffic, bd.TotalNs))
+		case opencl.CommandWrite, opencl.CommandRead:
+			transferNs += model.TransferTime(c.bytes)
+		}
+	}
+	if kernelNs <= 0 {
+		return nil, fmt.Errorf("harness: %s/%s produced no kernel time", p.Benchmark, p.Size)
 	}
 
 	// ≥2 s measurement loop (§4.3), in simulated time.
@@ -195,7 +290,7 @@ func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (
 	}
 	m.Iterations = iters
 
-	noise := sim.NewNoise(dev.Spec, bench.Name()+"/"+size)
+	noise := sim.NewNoise(dev.Spec, p.Benchmark+"/"+p.Size)
 	m.KernelNs = make([]float64, opt.Samples)
 	m.TransferNs = make([]float64, opt.Samples)
 	m.EnergyJ = make([]float64, opt.Samples)
@@ -214,6 +309,16 @@ func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (
 	// Kernel is only defensible when the samples pass these.
 	m.Diagnostics = scibench.Diagnose(m.KernelNs)
 	return m, nil
+}
+
+// Run measures one benchmark × size × device group: a Prepare followed by
+// one Measure, with no caching. Grid runs share preparations instead.
+func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (*Measurement, error) {
+	p, err := Prepare(bench, size, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Measure(dev, opt)
 }
 
 // Records converts a measurement into LibSciBench-style sample records for

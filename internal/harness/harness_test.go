@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
+	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/suite"
 )
@@ -212,6 +215,257 @@ func TestRunGridUnknownNames(t *testing.T) {
 	}
 	if _, err := RunGrid(reg, GridSpec{Devices: []string{"zzz"}, Options: quickOpts()}); err == nil {
 		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestPrepareMeasureMatchesRun(t *testing.T) {
+	// The split phases composed by hand must reproduce Run exactly, and
+	// one Preparation must be reusable across devices.
+	reg := suite.New()
+	b, _ := reg.Get("kmeans")
+	opt := quickOpts()
+	p, err := Prepare(b, "tiny", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Verified || p.TotalOps <= 0 || p.KernelLaunches <= 0 {
+		t.Fatalf("preparation incomplete: %+v", p)
+	}
+	for _, id := range []string{"i7-6700k", "gtx1080"} {
+		got, err := p.Measure(device(t, id), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(b, "tiny", device(t, id), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Prepare+Measure differs from Run", id)
+		}
+	}
+}
+
+func TestPrepCacheSharesOnePreparation(t *testing.T) {
+	// Concurrent lookups of the same key must run Prepare once and hand
+	// every caller the same *Preparation.
+	reg := suite.New()
+	b, _ := reg.Get("crc")
+	c := newPrepCache()
+	const callers = 8
+	preps := make([]*Preparation, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.prepare(b, "tiny", quickOpts())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			preps[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if preps[i] != preps[0] {
+			t.Fatal("cache returned distinct preparations for one key")
+		}
+	}
+	if c.len() != 1 {
+		t.Fatalf("%d cache entries, want 1", c.len())
+	}
+}
+
+// gridSpecForWorkers builds a small mixed grid (functional and
+// simulate-only rows) for the determinism and race tests.
+func gridSpecForWorkers(workers int) GridSpec {
+	return GridSpec{
+		Benchmarks: []string{"crc", "csr", "fft", "nqueens"},
+		Sizes:      []string{"tiny", "small"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m", "r9-290x"},
+		Options:    quickOpts(),
+		Workers:    workers,
+	}
+}
+
+func TestRunGridParallelDeterminism(t *testing.T) {
+	// A parallel grid must be cell-for-cell identical to a sequential
+	// one: noise is seeded per cell, never by run order.
+	reg := suite.New()
+	seq, err := RunGrid(reg, gridSpecForWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunGrid(reg, gridSpecForWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cells() != par.Cells() {
+		t.Fatalf("cell counts differ: %d vs %d", seq.Cells(), par.Cells())
+	}
+	for i, a := range seq.Measurements {
+		b := par.Measurements[i]
+		if a.Benchmark != b.Benchmark || a.Size != b.Size || a.Device.ID != b.Device.ID {
+			t.Fatalf("cell %d: grid order not preserved (%s/%s/%s vs %s/%s/%s)",
+				i, a.Benchmark, a.Size, a.Device.ID, b.Benchmark, b.Size, b.Device.ID)
+		}
+		if a.Kernel.Median != b.Kernel.Median {
+			t.Fatalf("cell %d %s/%s/%s: Kernel.Median %v != %v", i, a.Benchmark, a.Size, a.Device.ID, a.Kernel.Median, b.Kernel.Median)
+		}
+		if !reflect.DeepEqual(a.EnergyJ, b.EnergyJ) {
+			t.Fatalf("cell %d %s/%s/%s: EnergyJ samples differ", i, a.Benchmark, a.Size, a.Device.ID)
+		}
+		if !reflect.DeepEqual(a.Counters, b.Counters) {
+			t.Fatalf("cell %d %s/%s/%s: Counters differ", i, a.Benchmark, a.Size, a.Device.ID)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cell %d %s/%s/%s: measurements differ", i, a.Benchmark, a.Size, a.Device.ID)
+		}
+	}
+}
+
+func TestRunGridWorkersRace(t *testing.T) {
+	// Exercises the concurrent path under -race: 8 workers on one small
+	// grid, functional rows included, progress writer attached.
+	reg := suite.New()
+	var progress strings.Builder
+	spec := gridSpecForWorkers(8)
+	spec.Progress = &progress
+	g, err := RunGrid(reg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 benchmarks × 2 sizes × 4 devices + nqueens tiny × 4.
+	if want := 3*2*4 + 4; g.Cells() != want {
+		t.Fatalf("%d cells, want %d", g.Cells(), want)
+	}
+	if !strings.Contains(progress.String(), "cell ") {
+		t.Fatal("progress lines missing cell counter")
+	}
+}
+
+func TestRunGridParallelErrorPropagates(t *testing.T) {
+	reg := suite.New()
+	spec := gridSpecForWorkers(8)
+	spec.Options.Samples = 0
+	if _, err := RunGrid(reg, spec); err == nil {
+		t.Fatal("invalid options accepted by parallel grid")
+	}
+}
+
+func TestRunGridSharesPreparationAcrossDevices(t *testing.T) {
+	// Every device of one row must see the same kernel profile objects —
+	// proof the row was prepared once, not 15 times.
+	reg := suite.New()
+	g, err := RunGrid(reg, GridSpec{
+		Benchmarks: []string{"srad"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
+		Options:    quickOpts(),
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Measurements[0]
+	for _, m := range g.Measurements[1:] {
+		if len(m.Profiles) != len(first.Profiles) {
+			t.Fatal("profile counts differ across devices")
+		}
+		for i := range m.Profiles {
+			if m.Profiles[i] != first.Profiles[i] {
+				t.Fatal("devices hold distinct profile objects — preparation not shared")
+			}
+		}
+	}
+}
+
+// panicBench panics during instantiation, standing in for any benchmark
+// bug that escapes as a panic rather than an error.
+type panicBench struct{}
+
+func (panicBench) Name() string                 { return "panicky" }
+func (panicBench) Dwarf() string                { return "Chaos" }
+func (panicBench) Sizes() []string              { return []string{"tiny"} }
+func (panicBench) ScaleParameter(string) string { return "" }
+func (panicBench) ArgString(string) string      { return "" }
+func (panicBench) New(string, int64) (dwarfs.Instance, error) {
+	panic("boom")
+}
+
+func TestRunGridConvertsWorkerPanicsToErrors(t *testing.T) {
+	// A panic on a worker goroutine must surface as the cell's error,
+	// not abort the process.
+	reg, err := dwarfs.NewRegistry(panicBench{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunGrid(reg, GridSpec{
+			Devices: []string{"i7-6700k", "gtx1080"},
+			Options: quickOpts(),
+			Workers: workers,
+		})
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("workers=%d: want panic converted to error, got %v", workers, err)
+		}
+	}
+}
+
+func TestDispatchOrderCoversAllCells(t *testing.T) {
+	for _, tc := range []struct{ cells, devices, workers int }{
+		{24, 4, 1}, {24, 4, 8}, {15, 15, 4}, {7, 1, 4},
+	} {
+		order := dispatchOrder(tc.cells, tc.devices, tc.workers)
+		if len(order) != tc.cells {
+			t.Fatalf("%+v: %d entries, want %d", tc, len(order), tc.cells)
+		}
+		seen := make([]bool, tc.cells)
+		for _, i := range order {
+			if i < 0 || i >= tc.cells || seen[i] {
+				t.Fatalf("%+v: invalid or duplicate index %d", tc, i)
+			}
+			seen[i] = true
+		}
+	}
+	// Multi-worker order must lead with distinct rows so their prepares
+	// overlap: the first len(order)/devices entries are column 0.
+	order := dispatchOrder(24, 4, 8)
+	for r := 0; r < 6; r++ {
+		if order[r] != r*4 {
+			t.Fatalf("device-major order broken at %d: %v", r, order[:6])
+		}
+	}
+}
+
+func TestGridCellsAndAllocFreeLookups(t *testing.T) {
+	reg := suite.New()
+	g, err := RunGrid(reg, GridSpec{
+		Benchmarks: []string{"crc"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+		Options:    quickOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 2 {
+		t.Fatalf("Cells() = %d, want 2", g.Cells())
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if g.Find("nope", "tiny", "i7-6700k") != nil {
+			t.Error("found phantom cell")
+		}
+		if g.ByBenchmark("nope") != nil {
+			t.Error("phantom benchmark measurements")
+		}
+	}); allocs != 0 {
+		t.Fatalf("miss-path lookups allocate %.0f times", allocs)
+	}
+	if got := len(g.ByBenchmark("crc")); got != 2 {
+		t.Fatalf("ByBenchmark returned %d, want 2", got)
 	}
 }
 

@@ -72,19 +72,17 @@ func Run(bench, size, deviceID string, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	supported := false
-	for _, s := range b.Sizes() {
-		if s == size {
-			supported = true
-		}
-	}
-	if !supported {
+	if !dwarfs.SupportsSize(b, size) {
 		return nil, fmt.Errorf("opendwarfs: %s does not support size %q (has %v)", bench, size, b.Sizes())
 	}
 	return harness.Run(b, size, dev, opt)
 }
 
 // RunGrid measures a slice of the benchmark × size × device space.
+// spec.Workers controls how many cells are measured concurrently (0 =
+// GOMAXPROCS); each benchmark × size row is prepared once — dataset,
+// characterisation, verification — and shared across its devices, and the
+// resulting grid is deterministic and identical at every worker count.
 func RunGrid(spec GridSpec) (*Grid, error) {
 	return harness.RunGrid(suite.New(), spec)
 }
