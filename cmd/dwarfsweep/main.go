@@ -5,6 +5,11 @@
 //
 //	dwarfsweep -benchmarks crc,srad -sizes tiny,large -csv sweep.csv
 //
+// -csv and -jsonl export the raw per-sample records (the same
+// LibSciBench-style schema dwarfbench emits — machine-readable training
+// data for cmd/dwarfpredict); -figcsv exports the per-cell figure series
+// used for plotting.
+//
 // Cells are measured by -parallel concurrent workers (default: one per
 // CPU); each benchmark × size row is prepared once and shared across all
 // of its devices, and the resulting grid is identical at every worker
@@ -31,7 +36,9 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent grid workers (0 = GOMAXPROCS, 1 = sequential)")
 		samples    = flag.Int("samples", scibench.PaperSampleSize(), "samples per group")
 		budget     = flag.Float64("funcops", harness.DefaultOptions().MaxFunctionalOps, "functional execution budget in operations (0 = timing model only)")
-		csvPath    = flag.String("csv", "", "write per-cell figure series CSV")
+		csvPath    = flag.String("csv", "", "write raw per-sample records as CSV (dwarfbench schema)")
+		jsonlPath  = flag.String("jsonl", "", "write raw per-sample records as JSONL (dwarfbench schema)")
+		figCSVPath = flag.String("figcsv", "", "write per-cell figure series CSV")
 		boxes      = flag.Bool("boxes", false, "render ASCII box plots per benchmark × size")
 		compare    = flag.String("compare", "", "two device IDs 'a,b': Welch t-test per benchmark × size")
 	)
@@ -80,34 +87,73 @@ func main() {
 		compareDevices(grid, pair[0], pair[1])
 	}
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
-			os.Exit(1)
+	if *csvPath != "" || *jsonlPath != "" {
+		recs := gridRecords(grid)
+		if *csvPath != "" {
+			writeExport(*csvPath, func(f *os.File) error { return scibench.WriteCSV(f, recs) })
+			fmt.Printf("Samples CSV written to %s\n", *csvPath)
 		}
-		defer f.Close()
-		seen := map[string]bool{}
-		first := true
-		for _, m := range grid.Measurements {
-			if seen[m.Benchmark] {
-				continue
-			}
-			seen[m.Benchmark] = true
-			if !first {
-				// FigureCSV writes its own header; only keep the first.
-				var sb strings.Builder
-				report.FigureCSV(&sb, grid, m.Benchmark)
-				body := strings.SplitN(sb.String(), "\n", 2)
-				if len(body) == 2 {
-					fmt.Fprint(f, body[1])
-				}
-				continue
-			}
-			report.FigureCSV(f, grid, m.Benchmark)
-			first = false
+		if *jsonlPath != "" {
+			writeExport(*jsonlPath, func(f *os.File) error { return scibench.WriteJSONL(f, recs) })
+			fmt.Printf("Samples JSONL written to %s\n", *jsonlPath)
 		}
-		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+
+	if *figCSVPath != "" {
+		writeExport(*figCSVPath, func(f *os.File) error {
+			writeFigureCSV(f, grid)
+			return nil
+		})
+		fmt.Printf("Figure series CSV written to %s\n", *figCSVPath)
+	}
+}
+
+// gridRecords flattens every cell's raw sample records, grid order — the
+// machine-readable training data consumed by external models and the
+// counterpart of dwarfbench's -csv/-jsonl export.
+func gridRecords(grid *harness.Grid) []scibench.Record {
+	var recs []scibench.Record
+	for _, m := range grid.Measurements {
+		recs = append(recs, m.Records()...)
+	}
+	return recs
+}
+
+// writeFigureCSV emits the per-cell figure series of every benchmark with a
+// single shared header.
+func writeFigureCSV(f *os.File, grid *harness.Grid) {
+	seen := map[string]bool{}
+	first := true
+	for _, m := range grid.Measurements {
+		if seen[m.Benchmark] {
+			continue
+		}
+		seen[m.Benchmark] = true
+		if !first {
+			// FigureCSV writes its own header; only keep the first.
+			var sb strings.Builder
+			report.FigureCSV(&sb, grid, m.Benchmark)
+			body := strings.SplitN(sb.String(), "\n", 2)
+			if len(body) == 2 {
+				fmt.Fprint(f, body[1])
+			}
+			continue
+		}
+		report.FigureCSV(f, grid, m.Benchmark)
+		first = false
+	}
+}
+
+func writeExport(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+		os.Exit(1)
 	}
 }
 

@@ -151,3 +151,65 @@ func TestSortByName(t *testing.T) {
 		t.Fatal("sort broken")
 	}
 }
+
+func TestVectorMatchesFeatureNames(t *testing.T) {
+	m := Characterize(sampleProfile())
+	names := FeatureNames()
+	v := m.Vector()
+	if len(v) != len(names) {
+		t.Fatalf("vector has %d dims, FeatureNames %d", len(v), len(names))
+	}
+	// Mutating the returned name slice must not alias the package copy.
+	names[0] = "clobbered"
+	if FeatureNames()[0] == "clobbered" {
+		t.Fatal("FeatureNames returns aliased slice")
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("dim %s is %v", FeatureNames()[i], x)
+		}
+	}
+	// Vectorizable kernels carry the flag; coalescing zero means unset→1.
+	if m.Vectorizable != 1 {
+		t.Fatalf("vectorizable = %v, want 1", m.Vectorizable)
+	}
+	if m.Coalescing != 1 {
+		t.Fatalf("unset coalescing = %v, want 1", m.Coalescing)
+	}
+}
+
+func TestAggregateSingleKernelIsCharacterize(t *testing.T) {
+	p := sampleProfile()
+	agg := Aggregate([]*sim.KernelProfile{p})
+	m := Characterize(p)
+	av, mv := agg.Vector(), m.Vector()
+	for i := range av {
+		if av[i] != mv[i] {
+			t.Fatalf("dim %s: aggregate %v != characterize %v", FeatureNames()[i], av[i], mv[i])
+		}
+	}
+}
+
+func TestAggregateWeightsByOps(t *testing.T) {
+	big := sampleProfile() // all-flop-heavy
+	small := &sim.KernelProfile{
+		Name: "s", WorkItems: 10,
+		IntOpsPerItem: 1, BranchesPerItem: 1, Divergence: 1,
+		WorkingSetBytes: 1 << 10, Pattern: cache.Random,
+	}
+	agg := Aggregate([]*sim.KernelProfile{big, small})
+	mBig := Characterize(big)
+	// The dominant kernel's mix must dominate the aggregate.
+	if math.Abs(agg.FlopFraction-mBig.FlopFraction) > 0.01 {
+		t.Fatalf("aggregate flop fraction %v far from dominant kernel's %v", agg.FlopFraction, mBig.FlopFraction)
+	}
+	if agg.TotalOps <= mBig.TotalOps {
+		t.Fatal("aggregate ops should sum across kernels")
+	}
+	if agg.FootprintBytes != mBig.FootprintBytes {
+		t.Fatal("aggregate footprint should be the max across kernels")
+	}
+	if len(Aggregate(nil).Vector()) != len(FeatureNames()) {
+		t.Fatal("empty aggregate vector malformed")
+	}
+}

@@ -8,6 +8,7 @@ package dwarfs
 
 import (
 	"fmt"
+	"sort"
 
 	"opendwarfs/internal/opencl"
 )
@@ -117,7 +118,8 @@ func NewRegistry(bs ...Benchmark) (*Registry, error) {
 // All returns the benchmarks in registration order.
 func (r *Registry) All() []Benchmark { return r.order }
 
-// Get finds a benchmark by name.
+// Get finds a benchmark by name. Unknown names fail with the sorted list
+// of valid ones, mirroring sim.Lookup's device error.
 func (r *Registry) Get(name string) (Benchmark, error) {
 	b, ok := r.byKey[name]
 	if !ok {
@@ -125,6 +127,7 @@ func (r *Registry) Get(name string) (Benchmark, error) {
 		for _, x := range r.order {
 			names = append(names, x.Name())
 		}
+		sort.Strings(names)
 		return nil, fmt.Errorf("dwarfs: unknown benchmark %q (have %v)", name, names)
 	}
 	return b, nil

@@ -140,6 +140,14 @@ type Preparation struct {
 	profiles []*sim.KernelProfile
 }
 
+// Profiles returns one workload profile per distinct kernel of the
+// preparation, in first-launch order. Profiles are computed by the
+// benchmark from the NDRange and dataset alone — never from a device — so
+// the same slice characterises the configuration on every catalogue entry;
+// it is the input to AIWC feature extraction (internal/aiwc.Aggregate) and
+// the prediction subsystem (internal/predict).
+func (p *Preparation) Profiles() []*sim.KernelProfile { return p.profiles }
+
 // prepDevice returns the device used to drive preparation passes. Workload
 // profiles, datasets and verification verdicts are device-independent, so
 // any catalogue entry works; the first is used for determinism.

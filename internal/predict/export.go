@@ -1,0 +1,72 @@
+package predict
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePredictionsCSV emits predicted-versus-actual pairs as CSV, one row
+// per held-out cell, for external analysis of the cross-validation.
+func WritePredictionsCSV(w io.Writer, preds []Prediction) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "size", "device", "fold", "actual_ns", "predicted_ns", "ape", "log_ape"}); err != nil {
+		return err
+	}
+	for i := range preds {
+		p := &preds[i]
+		row := []string{
+			p.Benchmark, p.Size, p.Device, p.Fold,
+			strconv.FormatFloat(p.ActualNs, 'g', -1, 64),
+			strconv.FormatFloat(p.PredNs, 'g', -1, 64),
+			strconv.FormatFloat(p.APE, 'g', -1, 64),
+			strconv.FormatFloat(p.LogAPE, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePredictionsJSONL emits the pairs as JSON lines.
+func WritePredictionsJSONL(w io.Writer, preds []Prediction) error {
+	enc := json.NewEncoder(w)
+	for i := range preds {
+		if err := enc.Encode(&preds[i]); err != nil {
+			return fmt.Errorf("predict: prediction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteDatasetCSV emits the assembled training matrix — one feature column
+// per dimension plus the targets — so the same data the forest trains on
+// can feed external models.
+func WriteDatasetCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"benchmark", "size", "device", "class"}, ds.FeatureNames...)
+	header = append(header, "median_ns", "log_ns")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range ds.Rows {
+		r := &ds.Rows[i]
+		row := make([]string, 0, len(header))
+		row = append(row, r.Benchmark, r.Size, r.Device, r.Class)
+		for _, v := range r.Features {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row,
+			strconv.FormatFloat(r.MedianNs, 'g', -1, 64),
+			strconv.FormatFloat(r.LogNs, 'g', -1, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

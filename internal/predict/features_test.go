@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"testing"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/suite"
+)
+
+// TestAIWCFeaturesDeviceIndependent is the §7 property the whole subsystem
+// rests on: the kernel half of a cell's feature vector comes from the
+// Preparation's workload profiles, which are computed from the NDRange and
+// dataset alone — so preparing and measuring the same (benchmark, size,
+// seed) on every catalogue device must yield bitwise-identical AIWC
+// vectors. Each device goes through a fresh harness.Run (fresh Prepare),
+// so agreement is a property of the pipeline, not of pointer sharing.
+func TestAIWCFeaturesDeviceIndependent(t *testing.T) {
+	reg := suite.New()
+	kernelDims := len(FeatureNames()) - len(deviceFeatureNames)
+	for _, name := range []string{"kmeans", "crc", "srad"} {
+		b, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref []float64
+		var refDev string
+		for _, dev := range opencl.AllDevices() {
+			m, err := harness.Run(b, "tiny", dev, harness.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			vec := CellFeatures(m)[:kernelDims]
+			if ref == nil {
+				ref, refDev = vec, dev.ID()
+				continue
+			}
+			for i := range vec {
+				if vec[i] != ref[i] {
+					t.Fatalf("%s: kernel feature %s differs between %s (%v) and %s (%v)",
+						name, FeatureNames()[i], refDev, ref[i], dev.ID(), vec[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPreparationProfilesExposed pins the harness accessor the feature
+// assembly depends on.
+func TestPreparationProfilesExposed(t *testing.T) {
+	reg := suite.New()
+	b, err := reg.Get("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := harness.Prepare(b, "tiny", harness.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := p.Profiles()
+	if len(profiles) == 0 {
+		t.Fatal("preparation exposes no kernel profiles")
+	}
+	for _, kp := range profiles {
+		if kp.Name == "" || kp.WorkItems <= 0 {
+			t.Fatalf("malformed profile %+v", kp)
+		}
+	}
+}
+
+// TestDeviceVectorDistinguishesCatalogue ensures no two devices collapse
+// to the same feature vector (the model could never separate them).
+func TestDeviceVectorDistinguishesCatalogue(t *testing.T) {
+	devs := opencl.AllDevices()
+	for i := 0; i < len(devs); i++ {
+		for j := i + 1; j < len(devs); j++ {
+			a, b := DeviceVector(devs[i].Spec), DeviceVector(devs[j].Spec)
+			same := true
+			for k := range a {
+				if a[k] != b[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("devices %s and %s have identical feature vectors", devs[i].ID(), devs[j].ID())
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthRows builds a deterministic synthetic regression problem:
+// y = 3*x0 + step(x1) + noise-free interaction, with a few inert features.
+func synthRows(n int) ([]string, []Row) {
+	names := []string{"x0", "x1", "x2", "x3"}
+	rng := rand.New(rand.NewSource(7))
+	rows := make([]Row, n)
+	for i := range rows {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y := 3*x[0] + 2
+		if x[1] > 0.5 {
+			y += 1.5
+		}
+		rows[i] = Row{Features: x, LogNs: y, MedianNs: math.Exp(y)}
+	}
+	return names, rows
+}
+
+func TestForestFitsSyntheticFunction(t *testing.T) {
+	names, rows := synthRows(400)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	f, err := TrainRows(names, rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumAbs := 0.0
+	for i := range rows {
+		sumAbs += math.Abs(f.Predict(rows[i].Features) - rows[i].LogNs)
+	}
+	if mae := sumAbs / float64(len(rows)); mae > 0.15 {
+		t.Fatalf("training MAE %.3f on a noise-free function, want < 0.15", mae)
+	}
+}
+
+func TestForestImportanceFindsActiveFeatures(t *testing.T) {
+	names, rows := synthRows(400)
+	cfg := DefaultConfig()
+	f, err := TrainRows(names, rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps := f.Importances()
+	if len(imps) != len(names) {
+		t.Fatalf("importance count %d, want %d", len(imps), len(names))
+	}
+	total := 0.0
+	byName := map[string]float64{}
+	for _, im := range imps {
+		total += im.Share
+		byName[im.Feature] = im.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("importances sum to %f", total)
+	}
+	// The two active features must dominate the two inert ones.
+	if byName["x0"] < byName["x2"] || byName["x0"] < byName["x3"] ||
+		byName["x1"] < byName["x2"] || byName["x1"] < byName["x3"] {
+		t.Fatalf("active features not dominant: %v", byName)
+	}
+}
+
+// TestForestDeterministicAcrossWorkers is the satellite determinism test:
+// at a fixed seed the trained model must be bitwise-identical at every
+// worker count, exactly like RunGrid's grid guarantee.
+func TestForestDeterministicAcrossWorkers(t *testing.T) {
+	names, rows := synthRows(200)
+	var ref *Forest
+	for _, workers := range []int{1, 2, 7, 16} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		f, err := TrainRows(names, rows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = f
+			continue
+		}
+		for i := range rows {
+			a, b := ref.Predict(rows[i].Features), f.Predict(rows[i].Features)
+			if a != b {
+				t.Fatalf("workers=%d row %d: prediction %v != %v", workers, i, b, a)
+			}
+		}
+		ri, fi := ref.Importances(), f.Importances()
+		for i := range ri {
+			if ri[i] != fi[i] {
+				t.Fatalf("workers=%d importance %d: %+v != %+v", workers, i, fi[i], ri[i])
+			}
+		}
+	}
+}
+
+func TestForestSeedChangesModel(t *testing.T) {
+	names, rows := synthRows(200)
+	cfg := DefaultConfig()
+	a, err := TrainRows(names, rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := TrainRows(names, rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range rows {
+		if a.Predict(rows[i].Features) != b.Predict(rows[i].Features) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical forests")
+	}
+}
+
+func TestForestPredictionsAreFinite(t *testing.T) {
+	// Ulp-adjacent feature values provoke the midpoint-rounding edge where
+	// a naive CART threshold leaves one partition empty (NaN leaves).
+	names := []string{"x0"}
+	base := 1.0e20
+	vals := []float64{base, math.Nextafter(base, math.Inf(1)), base * 2, base * 3}
+	var rows []Row
+	for i := 0; i < 64; i++ {
+		v := vals[i%len(vals)]
+		rows = append(rows, Row{Features: []float64{v}, LogNs: float64(i % 7), MedianNs: 1})
+	}
+	cfg := DefaultConfig()
+	cfg.FeatureFrac = 1
+	f, err := TrainRows(names, rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if p := f.Predict([]float64{v}); math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("non-finite prediction %v for input %v", p, v)
+		}
+	}
+}
+
+func TestTrainRowsValidation(t *testing.T) {
+	names, rows := synthRows(10)
+	if _, err := TrainRows(names, rows, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := DefaultConfig()
+	if _, err := TrainRows(names, rows[:1], cfg); err == nil {
+		t.Fatal("single-row training set accepted")
+	}
+	bad := make([]Row, len(rows))
+	copy(bad, rows)
+	bad[3].Features = bad[3].Features[:2]
+	if _, err := TrainRows(names, bad, cfg); err == nil {
+		t.Fatal("ragged feature matrix accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package predict
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a regression tree, stored flat. Leaves have
+// feature == -1 and carry the mean target of their samples.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int32
+	right     int32
+	value     float64
+}
+
+// tree is a CART regression tree grown with variance-reduction splits.
+type tree struct {
+	nodes []treeNode
+}
+
+// growConfig bundles the per-tree growth parameters.
+type growConfig struct {
+	maxDepth    int
+	minLeaf     int
+	featureFrac float64
+}
+
+// grower carries the state of one tree's construction. All randomness
+// flows through rng, which is owned by exactly one goroutine, and nodes are
+// expanded depth-first left-to-right — so a tree is a pure function of
+// (data, sample indices, rng seed).
+type grower struct {
+	x          [][]float64
+	y          []float64
+	cfg        growConfig
+	rng        *rand.Rand
+	nodes      []treeNode
+	importance []float64 // summed SSE reduction per feature
+	featIdx    []int     // scratch for feature subsampling
+	sortIdx    []int     // scratch for per-feature value ordering
+}
+
+// growTree fits one tree on the sample indices idx (bootstrap indices,
+// duplicates allowed). importance, when non-nil, accumulates each split's
+// SSE reduction into the split feature's slot.
+func growTree(x [][]float64, y []float64, idx []int, cfg growConfig, rng *rand.Rand, importance []float64) *tree {
+	g := &grower{
+		x: x, y: y, cfg: cfg, rng: rng,
+		importance: importance,
+		featIdx:    make([]int, len(x[0])),
+	}
+	own := make([]int, len(idx))
+	copy(own, idx)
+	g.build(own, 0)
+	return &tree{nodes: g.nodes}
+}
+
+// build grows the subtree over samples idx at the given depth and returns
+// its node index.
+func (g *grower) build(idx []int, depth int) int32 {
+	sum, sumSq := 0.0, 0.0
+	for _, i := range idx {
+		sum += g.y[i]
+		sumSq += g.y[i] * g.y[i]
+	}
+	n := float64(len(idx))
+	mean := sum / n
+	sse := sumSq - sum*sum/n
+
+	node := int32(len(g.nodes))
+	g.nodes = append(g.nodes, treeNode{feature: -1, value: mean})
+	if depth >= g.cfg.maxDepth || len(idx) < 2*g.cfg.minLeaf || sse <= 1e-12 {
+		return node
+	}
+
+	feat, thr, gain := g.bestSplit(idx, sum, sumSq, sse)
+	if feat < 0 {
+		return node
+	}
+	if g.importance != nil {
+		g.importance[feat] += gain
+	}
+
+	// Partition preserving relative order, so child sample order — and
+	// therefore every downstream rng-independent computation — is
+	// deterministic.
+	var left, right []int
+	for _, i := range idx {
+		if g.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// Cannot happen with the threshold guard above; keep the node a
+		// leaf rather than recurse on an empty side.
+		return node
+	}
+	g.nodes[node].feature = feat
+	g.nodes[node].threshold = thr
+	g.nodes[node].left = g.build(left, depth+1)
+	g.nodes[node].right = g.build(right, depth+1)
+	return node
+}
+
+// bestSplit searches a random feature subset for the (feature, threshold)
+// pair with the largest SSE reduction. Candidate features are scanned in
+// ascending index order and a new best must be strictly better, so ties
+// resolve to the lowest feature index / lowest threshold deterministically.
+func (g *grower) bestSplit(idx []int, totSum, totSumSq, parentSSE float64) (int, float64, float64) {
+	nFeat := len(g.featIdx)
+	k := int(float64(nFeat) * g.cfg.featureFrac)
+	if k < 1 {
+		k = 1
+	}
+	if k > nFeat {
+		k = nFeat
+	}
+	for i := range g.featIdx {
+		g.featIdx[i] = i
+	}
+	// Partial Fisher-Yates for the feature subset, then sort the chosen
+	// prefix so the scan order is index-ascending.
+	for i := 0; i < k; i++ {
+		j := i + g.rng.Intn(nFeat-i)
+		g.featIdx[i], g.featIdx[j] = g.featIdx[j], g.featIdx[i]
+	}
+	chosen := g.featIdx[:k]
+	sort.Ints(chosen)
+
+	if cap(g.sortIdx) < len(idx) {
+		g.sortIdx = make([]int, len(idx))
+	}
+	ord := g.sortIdx[:len(idx)]
+
+	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
+	n := float64(len(idx))
+	for _, f := range chosen {
+		copy(ord, idx)
+		// Sort by (value, sample index): the index tiebreak makes the
+		// prefix-sum order — and so the floating-point result — unique.
+		sort.Slice(ord, func(a, b int) bool {
+			va, vb := g.x[ord[a]][f], g.x[ord[b]][f]
+			if va != vb {
+				return va < vb
+			}
+			return ord[a] < ord[b]
+		})
+
+		sumL, sumSqL := 0.0, 0.0
+		for pos := 0; pos < len(ord)-1; pos++ {
+			yi := g.y[ord[pos]]
+			sumL += yi
+			sumSqL += yi * yi
+			// Only split between distinct values.
+			if g.x[ord[pos]][f] == g.x[ord[pos+1]][f] {
+				continue
+			}
+			nL := float64(pos + 1)
+			nR := n - nL
+			if int(nL) < g.cfg.minLeaf || int(nR) < g.cfg.minLeaf {
+				continue
+			}
+			sumR := totSum - sumL
+			sseL := sumSqL - sumL*sumL/nL
+			sseR := (totSumSq - sumSqL) - sumR*sumR/nR
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				thr := (g.x[ord[pos]][f] + g.x[ord[pos+1]][f]) / 2
+				if thr >= g.x[ord[pos+1]][f] {
+					// The midpoint of two ulp-adjacent values rounds up
+					// to the right value, which would leave the right
+					// partition empty; split at the left value instead.
+					thr = g.x[ord[pos]][f]
+				}
+				bestFeat = f
+				bestThr = thr
+				bestGain = gain
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// predict walks one feature vector to its leaf.
+func (t *tree) predict(x []float64) float64 {
+	n := int32(0)
+	for {
+		nd := &t.nodes[n]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			n = nd.left
+		} else {
+			n = nd.right
+		}
+	}
+}

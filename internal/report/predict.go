@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"opendwarfs/internal/predict"
+)
+
+// PredictionAccuracy renders a cross-validation result as the per-fold
+// accuracy table: held-out group, cell count, and the three error
+// summaries. A closing line gives the median across folds, the headline
+// number the CI smoke asserts against.
+func PredictionAccuracy(w io.Writer, cv *predict.CVResult) {
+	headers := []string{"Held-out " + cv.GroupBy, "Cells", "MAPE (%)", "MedAPE (%)", "LogMAPE (%)"}
+	var rows [][]string
+	for i := range cv.Folds {
+		f := &cv.Folds[i]
+		rows = append(rows, []string{
+			f.Held, fmt.Sprintf("%d", f.N),
+			fmt.Sprintf("%.1f", f.MAPE),
+			fmt.Sprintf("%.1f", f.MedAPE),
+			fmt.Sprintf("%.2f", f.LogMAPE),
+		})
+	}
+	fmt.Fprintf(w, "Leave-one-%s-out cross-validation (runtime prediction, §7)\n", cv.GroupBy)
+	Table(w, headers, rows)
+	fmt.Fprintf(w, "median across folds: MAPE %.1f%%  LogMAPE %.2f%%\n",
+		cv.MedianFoldMAPE(), cv.MedianFoldLogMAPE())
+}
+
+// FeatureImportanceTable renders the forest's top-N feature importances —
+// which AIWC and device dimensions the learned model leans on.
+func FeatureImportanceTable(w io.Writer, f *predict.Forest, topN int) {
+	imps := f.Importances()
+	if topN > 0 && topN < len(imps) {
+		imps = imps[:topN]
+	}
+	headers := []string{"Feature", "Importance"}
+	var rows [][]string
+	for _, imp := range imps {
+		rows = append(rows, []string{imp.Feature, fmt.Sprintf("%.3f", imp.Share)})
+	}
+	fmt.Fprintf(w, "Feature importance (%d trees, share of total variance reduction)\n", f.Trees())
+	Table(w, headers, rows)
+}
+
+// HeldOutPredictions renders per-cell predicted-versus-actual rows — the
+// "predict this benchmark on a device it never ran on" view.
+func HeldOutPredictions(w io.Writer, preds []predict.Prediction) {
+	headers := []string{"Benchmark", "Size", "Device", "Actual (ms)", "Predicted (ms)", "APE (%)", "LogAPE (%)"}
+	var rows [][]string
+	for i := range preds {
+		p := &preds[i]
+		rows = append(rows, []string{
+			p.Benchmark, p.Size, p.Device,
+			fmt.Sprintf("%.4f", p.ActualNs/1e6),
+			fmt.Sprintf("%.4f", p.PredNs/1e6),
+			fmt.Sprintf("%.1f", p.APE),
+			fmt.Sprintf("%.2f", p.LogAPE),
+		})
+	}
+	Table(w, headers, rows)
+}
