@@ -24,6 +24,7 @@ import (
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/report"
 	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/store"
 	"opendwarfs/internal/suite"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		jsonlPath = flag.String("jsonl", "", "write raw samples as JSONL")
 		list      = flag.Bool("list", false, "list benchmarks and devices, then exit")
 		aiwcFlag  = flag.Bool("aiwc", false, "print AIWC kernel characterisation (§7)")
+		storeDir  = flag.String("store", "", "persistent result store directory shared with dwarfsweep/dwarfserve")
 	)
 	flag.Parse()
 
@@ -77,9 +79,17 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.Samples = *samples
 
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+	}
+
 	sizes := sizeList(*size, b)
 	if len(sizes) > 1 {
-		runSizes(reg, b, sizes, dev, opt, *parallel, *csvPath, *jsonlPath, *aiwcFlag)
+		runSizes(reg, b, sizes, dev, opt, *parallel, *csvPath, *jsonlPath, *aiwcFlag, st)
 		return
 	}
 	if *parallel != 0 {
@@ -90,8 +100,24 @@ func main() {
 	fmt.Printf("Arguments : %s %s\n", b.Name(), b.ArgString(sizes[0]))
 	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
 
-	m, err := harness.Run(b, sizes[0], dev, opt)
-	if err != nil {
+	var m *harness.Measurement
+	if st != nil {
+		// Route the single cell through the grid harness so the store's
+		// read/write path is shared with dwarfsweep.
+		g, err := harness.RunGrid(reg, harness.GridSpec{
+			Benchmarks: []string{b.Name()},
+			Sizes:      sizes,
+			Devices:    []string{dev.ID()},
+			Options:    opt,
+			Workers:    1,
+			Store:      st,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		m = g.Measurements[0]
+		report.StoreStats(os.Stdout, g)
+	} else if m, err = harness.Run(b, sizes[0], dev, opt); err != nil {
 		fatal(err)
 	}
 
@@ -148,7 +174,7 @@ func sizeList(flagVal string, b dwarfs.Benchmark) []string {
 
 // runSizes measures one benchmark × device across several sizes through
 // the grid harness, sharing one preparation per size across workers.
-func runSizes(reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool) {
+func runSizes(reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool, st *store.Store) {
 	fmt.Printf("Benchmark : %s (%s dwarf), sizes %v\n", b.Name(), b.Dwarf(), sizes)
 	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
 	g, err := harness.RunGrid(reg, harness.GridSpec{
@@ -158,11 +184,13 @@ func runSizes(reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *ope
 		Options:    opt,
 		Workers:    workers,
 		Progress:   os.Stdout,
+		Store:      st,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%d cells measured\n", g.Cells())
+	report.StoreStats(os.Stdout, g)
 
 	if aiwc {
 		fmt.Println()

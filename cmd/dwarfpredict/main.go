@@ -29,6 +29,7 @@ import (
 	"opendwarfs/internal/predict"
 	"opendwarfs/internal/report"
 	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/store"
 	"opendwarfs/internal/suite"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		dataPath   = flag.String("dataset", "", "write the assembled training matrix as CSV")
 		assertMAPE = flag.Float64("assert-mape", 0, "fail unless LODO median per-device LogMAPE ≤ this (%; 0 = off)")
 		progress   = flag.Bool("progress", false, "print per-cell grid progress")
+		storeDir   = flag.String("store", "", "persistent result store directory: reuse cells measured by dwarfsweep/dwarfbench, persist the rest")
 	)
 	flag.Parse()
 
@@ -78,11 +80,20 @@ func main() {
 		Workers:    *parallel,
 		Progress:   progW,
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		spec.Store = st
+	}
 
 	grid, err := harness.RunGrid(suite.New(), spec)
 	if err != nil {
 		fatal(err)
 	}
+	report.StoreStats(os.Stdout, grid)
 	ds, err := predict.FromGrid(grid)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,282 @@
+// Command dwarfserve serves a persistent result store over HTTP — the
+// query side of the dwarfsweep/dwarfbench/dwarfpredict -store pipeline.
+// It loads every cell of the store into an in-memory index at startup
+// (the store's own index is sharded by fingerprint; the server adds O(1)
+// cell addressing by benchmark × size × device) and answers JSON queries:
+//
+//	GET /healthz                                  liveness + cell count
+//	GET /v1/cells?bench=fft&size=tiny&device=gtx1080   filtered cell summaries
+//	GET /v1/grid                                  every cell + the grid axes
+//	GET /v1/predict?bench=fft&size=tiny&device=gtx1080  runtime prediction
+//
+// /v1/predict trains the internal/predict random forest over all stored
+// cells on first use (deterministic in -seed) and answers for any
+// catalogue device — including devices the benchmark never ran on, the
+// paper's §7 scenario: the AIWC workload features come from the stored
+// measurements of that benchmark × size, the device features from the
+// catalogue spec.
+//
+//	dwarfsweep -sizes tiny -store results/
+//	dwarfserve -store results/ -addr :7077
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/predict"
+	"opendwarfs/internal/sim"
+	"opendwarfs/internal/store"
+)
+
+func main() {
+	def := predict.DefaultConfig()
+	var (
+		storeDir = flag.String("store", "", "persistent result store directory (required)")
+		addr     = flag.String("addr", ":7077", "listen address")
+		trees    = flag.Int("trees", def.Trees, "forest size for /v1/predict")
+		depth    = flag.Int("depth", def.MaxDepth, "maximum tree depth for /v1/predict")
+		seed     = flag.Int64("seed", def.Seed, "training seed for /v1/predict")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "dwarfserve: missing -store")
+		os.Exit(1)
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+		os.Exit(1)
+	}
+	grid, err := harness.GridFromStore(st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+		os.Exit(1)
+	}
+	cfg := def
+	cfg.Trees, cfg.MaxDepth, cfg.Seed = *trees, *depth, *seed
+
+	srv := newServer(st, grid, cfg)
+	log.Printf("dwarfserve: %d cells from %s (%d segment files), listening on %s",
+		grid.Cells(), *storeDir, st.Segments(), *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+		os.Exit(1)
+	}
+}
+
+// server answers queries from a grid snapshot loaded at startup. Sweeps
+// that append to the store after startup become visible on restart.
+type server struct {
+	st   *store.Store
+	grid *harness.Grid
+	mux  *http.ServeMux
+	// byCell gives O(1) cell addressing; the axes are the distinct values
+	// in store listing order.
+	byCell                     map[string]*harness.Measurement
+	benchmarks, sizes, devices []string
+
+	cfg predict.Config
+	// The forest is trained once, on first /v1/predict, over every stored
+	// cell; training is deterministic in cfg.Seed.
+	trainOnce sync.Once
+	forest    *predict.Forest
+	trainErr  error
+}
+
+func cellID(bench, size, device string) string { return bench + "\x00" + size + "\x00" + device }
+
+func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server {
+	s := &server{st: st, grid: grid, cfg: cfg, byCell: make(map[string]*harness.Measurement, grid.Cells())}
+	seenB, seenS, seenD := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, m := range grid.Measurements {
+		s.byCell[cellID(m.Benchmark, m.Size, m.Device.ID)] = m
+		if !seenB[m.Benchmark] {
+			seenB[m.Benchmark] = true
+			s.benchmarks = append(s.benchmarks, m.Benchmark)
+		}
+		if !seenS[m.Size] {
+			seenS[m.Size] = true
+			s.sizes = append(s.sizes, m.Size)
+		}
+		if !seenD[m.Device.ID] {
+			seenD[m.Device.ID] = true
+			s.devices = append(s.devices, m.Device.ID)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
+	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// cellSummary is the wire form of one measured cell: the statistics every
+// figure is built from, without the raw sample vectors.
+type cellSummary struct {
+	Benchmark        string  `json:"benchmark"`
+	Size             string  `json:"size"`
+	Device           string  `json:"device"`
+	Class            string  `json:"class"`
+	Functional       bool    `json:"functional"`
+	Verified         bool    `json:"verified"`
+	Samples          int     `json:"samples"`
+	Iterations       int     `json:"iterations_per_sample"`
+	FootprintBytes   int64   `json:"footprint_bytes"`
+	MedianNs         float64 `json:"median_ns"`
+	MeanNs           float64 `json:"mean_ns"`
+	CV               float64 `json:"cv"`
+	CI95LoNs         float64 `json:"ci95_lo_ns"`
+	CI95HiNs         float64 `json:"ci95_hi_ns"`
+	TransferMedianNs float64 `json:"transfer_median_ns"`
+	EnergyMedianJ    float64 `json:"energy_median_j"`
+}
+
+func summarize(m *harness.Measurement) cellSummary {
+	return cellSummary{
+		Benchmark:        m.Benchmark,
+		Size:             m.Size,
+		Device:           m.Device.ID,
+		Class:            m.Device.Class.String(),
+		Functional:       m.Functional,
+		Verified:         m.Verified,
+		Samples:          len(m.KernelNs),
+		Iterations:       m.Iterations,
+		FootprintBytes:   m.FootprintBytes,
+		MedianNs:         m.Kernel.Median,
+		MeanNs:           m.Kernel.Mean,
+		CV:               m.Kernel.CV,
+		CI95LoNs:         m.Kernel.CI95Lo,
+		CI95HiNs:         m.Kernel.CI95Hi,
+		TransferMedianNs: m.Transfer.Median,
+		EnergyMedianJ:    m.Energy.Median,
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"cells":    s.grid.Cells(),
+		"segments": s.st.Segments(),
+		"schema":   harness.StoreSchemaVersion,
+	})
+}
+
+func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	bench, size, device := q.Get("bench"), q.Get("size"), q.Get("device")
+	cells := []cellSummary{}
+	for _, m := range s.grid.Measurements {
+		if (bench == "" || m.Benchmark == bench) &&
+			(size == "" || m.Size == size) &&
+			(device == "" || m.Device.ID == device) {
+			cells = append(cells, summarize(m))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(cells), "cells": cells})
+}
+
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	cells := make([]cellSummary, 0, s.grid.Cells())
+	for _, m := range s.grid.Measurements {
+		cells = append(cells, summarize(m))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"benchmarks": s.benchmarks,
+		"sizes":      s.sizes,
+		"devices":    s.devices,
+		"count":      len(cells),
+		"cells":      cells,
+	})
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	bench, size, device := q.Get("bench"), q.Get("size"), q.Get("device")
+	if bench == "" || size == "" || device == "" {
+		writeError(w, http.StatusBadRequest, "want bench=, size= and device= query parameters")
+		return
+	}
+
+	// The workload half of the feature vector comes from any stored
+	// measurement of this benchmark × size — AIWC profiles are
+	// device-independent, so the first one is as good as any.
+	var src *harness.Measurement
+	for _, d := range s.devices {
+		if m := s.byCell[cellID(bench, size, d)]; m != nil {
+			src = m
+			break
+		}
+	}
+	if src == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no stored measurement of %s/%s on any device; sweep it into the store first", bench, size))
+		return
+	}
+
+	// The device half comes from the stored cell when this exact device
+	// was measured, otherwise from the catalogue — which is what lets the
+	// daemon answer for devices the benchmark never ran on.
+	actual := s.byCell[cellID(bench, size, device)]
+	var spec *sim.DeviceSpec
+	if actual != nil {
+		spec = actual.Device
+	} else {
+		var err error
+		if spec, err = sim.Lookup(device); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+	}
+
+	s.trainOnce.Do(func() {
+		ds, err := predict.FromGrid(s.grid)
+		if err != nil {
+			s.trainErr = err
+			return
+		}
+		s.forest, s.trainErr = predict.Train(ds, s.cfg)
+	})
+	if s.trainErr != nil {
+		writeError(w, http.StatusInternalServerError, s.trainErr.Error())
+		return
+	}
+
+	predNs := s.forest.PredictNs(predict.Features(src.Profiles, src.KernelLaunches, spec))
+	resp := map[string]any{
+		"benchmark":      bench,
+		"size":           size,
+		"device":         device,
+		"predicted_ns":   predNs,
+		"measured":       actual != nil,
+		"training_cells": s.grid.Cells(),
+	}
+	if actual != nil {
+		resp["actual_ns"] = actual.Kernel.Median
+		resp["ape"] = 100 * math.Abs(predNs-actual.Kernel.Median) / actual.Kernel.Median
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dwarfserve: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/predict"
+	"opendwarfs/internal/store"
+	"opendwarfs/internal/suite"
+)
+
+// newTestServer sweeps a tiny grid into a fresh store and serves it — the
+// same pipeline as `dwarfsweep -store` followed by `dwarfserve -store`.
+func newTestServer(t *testing.T) (*server, *harness.Grid) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := harness.DefaultOptions()
+	opt.Samples = 6
+	g, err := harness.RunGrid(suite.New(), harness.GridSpec{
+		Benchmarks: []string{"crc", "fft"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+		Options:    opt,
+		Workers:    2,
+		Store:      st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := harness.GridFromStore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := predict.DefaultConfig()
+	cfg.Trees = 20 // keep the /v1/predict test fast
+	return newServer(st, served, cfg), g
+}
+
+func get(t *testing.T, srv *server, url string, wantCode int) map[string]any {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("GET %s: status %d (body %s), want %d", url, rec.Code, rec.Body, wantCode)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("GET %s: invalid JSON %q: %v", url, rec.Body, err)
+	}
+	return body
+}
+
+func TestHealthz(t *testing.T) {
+	srv, g := newTestServer(t)
+	body := get(t, srv, "/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("status %v", body["status"])
+	}
+	if int(body["cells"].(float64)) != g.Cells() {
+		t.Fatalf("cells %v, want %d", body["cells"], g.Cells())
+	}
+}
+
+func TestCellsFilter(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	all := get(t, srv, "/v1/cells", http.StatusOK)
+	if int(all["count"].(float64)) != 4 {
+		t.Fatalf("unfiltered count %v, want 4", all["count"])
+	}
+
+	one := get(t, srv, "/v1/cells?bench=fft&size=tiny&device=gtx1080", http.StatusOK)
+	if int(one["count"].(float64)) != 1 {
+		t.Fatalf("filtered count %v, want 1", one["count"])
+	}
+	cell := one["cells"].([]any)[0].(map[string]any)
+	if cell["benchmark"] != "fft" || cell["device"] != "gtx1080" {
+		t.Fatalf("wrong cell %v", cell)
+	}
+	if cell["median_ns"].(float64) <= 0 {
+		t.Fatalf("non-positive median %v", cell["median_ns"])
+	}
+
+	none := get(t, srv, "/v1/cells?bench=nosuch", http.StatusOK)
+	if int(none["count"].(float64)) != 0 {
+		t.Fatalf("phantom cells %v", none["count"])
+	}
+}
+
+func TestGrid(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := get(t, srv, "/v1/grid", http.StatusOK)
+	if int(body["count"].(float64)) != 4 {
+		t.Fatalf("count %v, want 4", body["count"])
+	}
+	if n := len(body["benchmarks"].([]any)); n != 2 {
+		t.Fatalf("%d benchmarks, want 2", n)
+	}
+	if n := len(body["devices"].([]any)); n != 2 {
+		t.Fatalf("%d devices, want 2", n)
+	}
+}
+
+func TestPredictMeasuredAndUnmeasured(t *testing.T) {
+	srv, g := newTestServer(t)
+
+	// A measured cell: prediction plus the stored actual.
+	body := get(t, srv, "/v1/predict?bench=fft&size=tiny&device=gtx1080", http.StatusOK)
+	if body["measured"] != true {
+		t.Fatalf("measured = %v", body["measured"])
+	}
+	pred := body["predicted_ns"].(float64)
+	actual := body["actual_ns"].(float64)
+	if pred <= 0 || actual <= 0 {
+		t.Fatalf("pred %v actual %v", pred, actual)
+	}
+	want := g.Find("fft", "tiny", "gtx1080").Kernel.Median
+	if actual != want {
+		t.Fatalf("actual_ns %v, want stored median %v", actual, want)
+	}
+
+	// A device the benchmark never ran on: catalogue spec + stored AIWC
+	// profiles still yield a prediction.
+	body = get(t, srv, "/v1/predict?bench=fft&size=tiny&device=k20m", http.StatusOK)
+	if body["measured"] != false {
+		t.Fatalf("measured = %v for unmeasured device", body["measured"])
+	}
+	if body["predicted_ns"].(float64) <= 0 {
+		t.Fatalf("predicted_ns %v", body["predicted_ns"])
+	}
+	if _, has := body["actual_ns"]; has {
+		t.Fatal("actual_ns present for unmeasured cell")
+	}
+
+	// Unknown workload or device → 404 with a useful message.
+	get(t, srv, "/v1/predict?bench=lud&size=tiny&device=gtx1080", http.StatusNotFound)
+	get(t, srv, "/v1/predict?bench=fft&size=tiny&device=gtx1081", http.StatusNotFound)
+	// Missing parameters → 400.
+	get(t, srv, "/v1/predict?bench=fft", http.StatusBadRequest)
+}

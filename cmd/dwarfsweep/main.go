@@ -14,6 +14,13 @@
 // CPU); each benchmark × size row is prepared once and shared across all
 // of its devices, and the resulting grid is identical at every worker
 // count.
+//
+// -store makes sweeps incremental and durable: cells already present in the
+// store (same benchmark, size, seed, device spec, options and code schema)
+// are served from disk, only missing cells are measured, and new results
+// are appended for the next run — or for cmd/dwarfserve to serve. An
+// unchanged re-sweep is a 100% hit and its exports are byte-identical;
+// -assert-store-hits turns that into a CI gate.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/report"
 	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/store"
 	"opendwarfs/internal/suite"
 )
 
@@ -41,8 +49,15 @@ func main() {
 		figCSVPath = flag.String("figcsv", "", "write per-cell figure series CSV")
 		boxes      = flag.Bool("boxes", false, "render ASCII box plots per benchmark × size")
 		compare    = flag.String("compare", "", "two device IDs 'a,b': Welch t-test per benchmark × size")
+		storeDir   = flag.String("store", "", "persistent result store directory: cached cells are read, missing cells measured and written")
+		assertHits = flag.Float64("assert-store-hits", -1, "fail unless the store hit rate is ≥ this percentage (requires -store)")
+		compact    = flag.Bool("compact", false, "compact the store into a single snapshot after the sweep (requires -store)")
 	)
 	flag.Parse()
+	if *storeDir == "" && (*assertHits >= 0 || *compact) {
+		fmt.Fprintln(os.Stderr, "dwarfsweep: -assert-store-hits and -compact require -store")
+		os.Exit(1)
+	}
 
 	opt := harness.DefaultOptions()
 	opt.Samples = *samples
@@ -58,6 +73,15 @@ func main() {
 		Workers:    *parallel,
 		Progress:   os.Stdout,
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+			os.Exit(1)
+		}
+		spec.Store = st
+	}
 	reg := suite.New()
 	grid, err := harness.RunGrid(reg, spec)
 	if err != nil {
@@ -65,6 +89,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n%d grid cells measured\n", grid.Cells())
+	if st != nil {
+		report.StoreStats(os.Stdout, grid)
+		if *compact {
+			if err := st.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+				os.Exit(1)
+			}
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+			os.Exit(1)
+		}
+		if *assertHits >= 0 && grid.HitRate() < *assertHits {
+			fmt.Fprintf(os.Stderr, "dwarfsweep: store hit rate %.1f%% below required %.1f%%\n", grid.HitRate(), *assertHits)
+			os.Exit(1)
+		}
+	}
 
 	if *boxes {
 		seen := map[string]bool{}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/store"
 )
 
 // GridSpec selects a slice of the benchmark × size × device space.
@@ -31,12 +33,30 @@ type GridSpec struct {
 	// Writes are serialised; under concurrency lines arrive in completion
 	// order, each prefixed with a "cell k/n" counter.
 	Progress io.Writer
+	// Store, when non-nil, makes the run incremental: each cell's
+	// fingerprint (CellKey) is looked up before measuring, hits are decoded
+	// instead of recomputed, and misses are measured then persisted. An
+	// unchanged grid re-swept against the same store is a 100% hit and
+	// produces value-identical measurements, hence byte-identical exports.
+	Store *store.Store
 }
 
 // Grid is a collection of measurements with lookup helpers — the data
 // behind every figure in the paper.
 type Grid struct {
 	Measurements []*Measurement
+	// StoreHits and StoreMisses count cells served from / measured into
+	// GridSpec.Store; both are zero when no store was attached.
+	StoreHits, StoreMisses int
+}
+
+// HitRate returns the store hit percentage of the run (0 with no store).
+func (g *Grid) HitRate() float64 {
+	total := g.StoreHits + g.StoreMisses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(g.StoreHits) / float64(total)
 }
 
 // gridCell is one planned benchmark × size × device measurement.
@@ -67,9 +87,32 @@ func planCells(reg *dwarfs.Registry, spec GridSpec) ([]gridCell, int, error) {
 		for _, id := range spec.Devices {
 			d, err := opencl.LookupDevice(id)
 			if err != nil {
-				return nil, 0, err
+				// sim.Lookup's message already carries the sorted catalogue.
+				return nil, 0, fmt.Errorf("harness: %w", err)
 			}
 			devices = append(devices, d)
+		}
+	}
+
+	// A size supported by only some selected benchmarks narrows those
+	// benchmarks' rows; a size supported by none is a flag typo and must
+	// fail loudly, like an unknown benchmark or device.
+	if len(spec.Sizes) > 0 {
+		valid := map[string]bool{}
+		for _, b := range benches {
+			for _, s := range b.Sizes() {
+				valid[s] = true
+			}
+		}
+		for _, s := range spec.Sizes {
+			if !valid[s] {
+				known := make([]string, 0, len(valid))
+				for v := range valid {
+					known = append(known, v)
+				}
+				sort.Strings(known)
+				return nil, 0, fmt.Errorf("harness: unknown size %q (valid for the selected benchmarks: %v)", s, known)
+			}
 		}
 	}
 
@@ -145,10 +188,28 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 		order    = dispatchOrder(len(cells), nDevices, workers)
 		next     atomic.Int64
 		done     atomic.Int64
+		hits     atomic.Int64
+		misses   atomic.Int64
 		stopped  atomic.Bool
 		progress sync.Mutex
 		wg       sync.WaitGroup
 	)
+
+	report := func(m *Measurement, cached bool) {
+		if spec.Progress == nil {
+			return
+		}
+		src := ""
+		if cached {
+			src = "  [store]"
+		}
+		progress.Lock()
+		fmt.Fprintf(spec.Progress, "cell %d/%d  %-8s %-7s %-12s median %12.3f ms  CV %5.3f  energy %8.3f J%s%s\n",
+			done.Add(1), len(cells),
+			m.Benchmark, m.Size, m.Device.ID,
+			m.Kernel.Median/1e6, m.Kernel.CV, m.Energy.Median, verifiedTag(m), src)
+		progress.Unlock()
+	}
 
 	runCell := func(i int) (err error) {
 		c := cells[i]
@@ -160,6 +221,21 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 				err = fmt.Errorf("harness: grid cell %s/%s/%s panicked: %v", c.bench.Name(), c.size, c.dev.ID(), r)
 			}
 		}()
+		var key string
+		if spec.Store != nil {
+			key = CellKey(c.bench.Name(), c.size, c.dev.Spec, spec.Options)
+			if raw, ok := spec.Store.Get(key); ok {
+				if m, derr := DecodeMeasurement(raw); derr == nil {
+					results[i] = m
+					hits.Add(1)
+					report(m, true)
+					return nil
+				}
+				// Undecodable under the current code: recompute and
+				// overwrite below.
+			}
+			misses.Add(1)
+		}
 		p, err := cache.prepare(c.bench, c.size, spec.Options)
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
@@ -168,15 +244,20 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
 		}
-		results[i] = m
-		if spec.Progress != nil {
-			progress.Lock()
-			fmt.Fprintf(spec.Progress, "cell %d/%d  %-8s %-7s %-12s median %12.3f ms  CV %5.3f  energy %8.3f J%s\n",
-				done.Add(1), len(cells),
-				m.Benchmark, m.Size, m.Device.ID,
-				m.Kernel.Median/1e6, m.Kernel.CV, m.Energy.Median, verifiedTag(m))
-			progress.Unlock()
+		if spec.Store != nil {
+			raw, err := EncodeMeasurement(m)
+			if err != nil {
+				return err
+			}
+			if err := spec.Store.Put(store.Record{
+				Key: key, Benchmark: m.Benchmark, Size: m.Size, Device: m.Device.ID,
+				Schema: StoreSchemaVersion, Value: raw,
+			}); err != nil {
+				return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
+			}
 		}
+		results[i] = m
+		report(m, false)
 		return nil
 	}
 
@@ -215,7 +296,11 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 			return nil, err
 		}
 	}
-	return &Grid{Measurements: results}, nil
+	return &Grid{
+		Measurements: results,
+		StoreHits:    int(hits.Load()),
+		StoreMisses:  int(misses.Load()),
+	}, nil
 }
 
 func verifiedTag(m *Measurement) string {

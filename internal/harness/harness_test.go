@@ -190,21 +190,24 @@ func TestRunGridSelection(t *testing.T) {
 	}
 }
 
-func TestRunGridSizeFilterSkipsUnsupported(t *testing.T) {
-	// nqueens supports only one size; asking for "large" must skip it
-	// rather than fail.
+func TestRunGridSizeFilterUnsupportedBySelection(t *testing.T) {
+	// nqueens supports only "tiny"; with nqueens as the whole selection,
+	// asking for "large" can match nothing and must fail naming the valid
+	// sizes — not return a silently empty grid. (When other selected
+	// benchmarks do support the size, it narrows their rows instead; see
+	// TestUnknownSizeAndDeviceFailLoudly.)
 	reg := suite.New()
-	g, err := RunGrid(reg, GridSpec{
+	_, err := RunGrid(reg, GridSpec{
 		Benchmarks: []string{"nqueens"},
 		Sizes:      []string{"large"},
 		Devices:    []string{"i7-6700k"},
 		Options:    quickOpts(),
 	})
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		t.Fatal("size unsupported by every selected benchmark accepted silently")
 	}
-	if len(g.Measurements) != 0 {
-		t.Fatal("unsupported size not skipped")
+	if !strings.Contains(err.Error(), `"large"`) || !strings.Contains(err.Error(), "tiny") {
+		t.Fatalf("error %q does not name the bad size and the valid ones", err)
 	}
 }
 

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"opendwarfs/internal/sim"
+	"opendwarfs/internal/store"
+)
+
+// StoreSchemaVersion is the code-schema generation of persisted
+// measurements. It participates in every cell fingerprint, so bumping it
+// invalidates all previously stored cells at once — do that whenever the
+// Measurement encoding or the measurement semantics change incompatibly.
+const StoreSchemaVersion = 1
+
+// cellOptions is the subset of Options a measurement actually depends on,
+// in fingerprint-stable field order. Seed is keyed separately so the
+// fingerprint layout reads (schema, bench, size, seed, device, options).
+type cellOptions struct {
+	Samples          int
+	MinLoopNs        float64
+	MaxLoopIters     int
+	MaxFunctionalOps float64
+	Verify           bool
+}
+
+// CellKey fingerprints one benchmark × size × device × options cell. The
+// full DeviceSpec is hashed — not just its ID — so editing a catalogue
+// entry (clocks, cache sizes, power, …) invalidates exactly that device's
+// cells. Identical inputs always map to identical keys, which is what makes
+// an unchanged re-sweep a 100% store hit.
+func CellKey(bench, size string, spec *sim.DeviceSpec, opt Options) string {
+	return store.Fingerprint(
+		"opendwarfs/cell", StoreSchemaVersion,
+		bench, size, opt.Seed, spec,
+		cellOptions{
+			Samples:          opt.Samples,
+			MinLoopNs:        opt.MinLoopNs,
+			MaxLoopIters:     opt.MaxLoopIters,
+			MaxFunctionalOps: opt.MaxFunctionalOps,
+			Verify:           opt.Verify,
+		},
+	)
+}
+
+// EncodeMeasurement serialises a measurement for the store. Every field of
+// Measurement is exported and float64 values round-trip exactly through
+// encoding/json's shortest-representation encoder, so a decoded cell is
+// value-identical to the measured one — exports built from either are
+// byte-identical.
+func EncodeMeasurement(m *Measurement) (json.RawMessage, error) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("harness: encode %s/%s/%s: %w", m.Benchmark, m.Size, m.Device.ID, err)
+	}
+	return raw, nil
+}
+
+// DecodeMeasurement deserialises a stored cell.
+func DecodeMeasurement(raw json.RawMessage) (*Measurement, error) {
+	m := &Measurement{}
+	if err := json.Unmarshal(raw, m); err != nil {
+		return nil, fmt.Errorf("harness: decode stored measurement: %w", err)
+	}
+	if m.Device == nil || len(m.KernelNs) == 0 {
+		return nil, fmt.Errorf("harness: stored measurement missing device or samples")
+	}
+	return m, nil
+}
+
+// GridFromStore reconstructs a Grid from every decodable cell of a store,
+// in the store's stable (benchmark, size, device) listing order — the read
+// path of dwarfserve and of any tool that wants results without
+// re-measuring. Records written by other schema generations are skipped,
+// not errors: they are simply no longer addressable.
+func GridFromStore(st *store.Store) (*Grid, error) {
+	g := &Grid{}
+	for _, rec := range st.Records() {
+		if rec.Schema != StoreSchemaVersion {
+			continue
+		}
+		m, err := DecodeMeasurement(rec.Value)
+		if err != nil {
+			return nil, fmt.Errorf("harness: store cell %s: %w", rec.Key, err)
+		}
+		g.Measurements = append(g.Measurements, m)
+	}
+	return g, nil
+}

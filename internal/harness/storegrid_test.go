@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/scibench"
+	"opendwarfs/internal/store"
+	"opendwarfs/internal/suite"
+)
+
+func tinyStoreSpec(st *store.Store) GridSpec {
+	opt := DefaultOptions()
+	opt.Samples = 6
+	return GridSpec{
+		Benchmarks: []string{"crc", "fft"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
+		Options:    opt,
+		Workers:    2,
+		Store:      st,
+	}
+}
+
+func gridCSV(t *testing.T, g *Grid) []byte {
+	t.Helper()
+	var recs []scibench.Record
+	for _, m := range g.Measurements {
+		recs = append(recs, m.Records()...)
+	}
+	var buf bytes.Buffer
+	if err := scibench.WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreIncrementalResweep is the tentpole invariant: a cold sweep
+// populates the store, an unchanged re-sweep is a 100% hit and the two
+// grids are value-identical — byte-identical once exported.
+func TestStoreIncrementalResweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := suite.New()
+
+	cold, err := RunGrid(reg, tinyStoreSpec(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.StoreHits != 0 || cold.StoreMisses != cold.Cells() {
+		t.Fatalf("cold sweep: %d hits / %d misses over %d cells", cold.StoreHits, cold.StoreMisses, cold.Cells())
+	}
+	if st.Len() != cold.Cells() {
+		t.Fatalf("store holds %d cells, want %d", st.Len(), cold.Cells())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process: reopen the directory and re-sweep.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunGrid(reg, tinyStoreSpec(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.StoreMisses != 0 || warm.StoreHits != warm.Cells() {
+		t.Fatalf("warm sweep: %d hits / %d misses, want 100%% hits", warm.StoreHits, warm.StoreMisses)
+	}
+	if warm.HitRate() != 100 {
+		t.Fatalf("hit rate %.1f%%, want 100%%", warm.HitRate())
+	}
+	if !reflect.DeepEqual(cold.Measurements, warm.Measurements) {
+		t.Fatal("stored measurements are not value-identical to measured ones")
+	}
+	if !bytes.Equal(gridCSV(t, cold), gridCSV(t, warm)) {
+		t.Fatal("cold and warm CSV exports differ")
+	}
+
+	// GridFromStore serves the same cells without any measuring.
+	served, err := GridFromStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Cells() != cold.Cells() {
+		t.Fatalf("GridFromStore: %d cells, want %d", served.Cells(), cold.Cells())
+	}
+	for _, m := range cold.Measurements {
+		got := served.Find(m.Benchmark, m.Size, m.Device.ID)
+		if got == nil || !reflect.DeepEqual(m, got) {
+			t.Fatalf("served cell %s/%s/%s differs from measured", m.Benchmark, m.Size, m.Device.ID)
+		}
+	}
+}
+
+// TestStoreFingerprintInvalidation: any change to seed, sampling options or
+// the device spec must produce a different key — the stored cell is missed,
+// not wrongly reused.
+func TestStoreFingerprintInvalidation(t *testing.T) {
+	opt := tinyStoreSpec(nil).Options
+	d, err := opencl.LookupDevice("gtx1080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CellKey("crc", "tiny", d.Spec, opt)
+
+	if CellKey("crc", "tiny", d.Spec, opt) != base {
+		t.Fatal("CellKey not deterministic")
+	}
+
+	seedOpt := opt
+	seedOpt.Seed++
+	samplesOpt := opt
+	samplesOpt.Samples++
+	budgetOpt := opt
+	budgetOpt.MaxFunctionalOps = 0
+	verifyOpt := opt
+	verifyOpt.Verify = !verifyOpt.Verify
+	loopOpt := opt
+	loopOpt.MinLoopNs *= 2
+
+	editedSpec := *d.Spec
+	editedSpec.MaxClockMHz += 100
+
+	keys := map[string]string{
+		"seed":        CellKey("crc", "tiny", d.Spec, seedOpt),
+		"samples":     CellKey("crc", "tiny", d.Spec, samplesOpt),
+		"budget":      CellKey("crc", "tiny", d.Spec, budgetOpt),
+		"verify":      CellKey("crc", "tiny", d.Spec, verifyOpt),
+		"minloop":     CellKey("crc", "tiny", d.Spec, loopOpt),
+		"device spec": CellKey("crc", "tiny", &editedSpec, opt),
+		"benchmark":   CellKey("fft", "tiny", d.Spec, opt),
+		"size":        CellKey("crc", "small", d.Spec, opt),
+	}
+	seen := map[string]string{base: "base"}
+	for what, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collides with %s", what, prev)
+		}
+		seen[k] = what
+	}
+}
+
+// TestStoreInvalidationEndToEnd runs the miss path through RunGrid: a
+// different seed over a populated store must recompute every cell.
+func TestStoreInvalidationEndToEnd(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := suite.New()
+	spec := tinyStoreSpec(st)
+	if _, err := RunGrid(reg, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	spec.Options.Seed++
+	g, err := RunGrid(reg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.StoreHits != 0 || g.StoreMisses != g.Cells() {
+		t.Fatalf("seed change: %d hits / %d misses, want all misses", g.StoreHits, g.StoreMisses)
+	}
+	// Both generations now coexist in the store.
+	if st.Len() != 2*g.Cells() {
+		t.Fatalf("store holds %d cells, want %d", st.Len(), 2*g.Cells())
+	}
+}
+
+// TestStoreConcurrentWriters drives two overlapping grids into one store
+// from concurrent RunGrid calls (each itself multi-worker) under -race,
+// then proves the union re-sweep is served entirely from the store.
+func TestStoreConcurrentWriters(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := suite.New()
+
+	opt := DefaultOptions()
+	opt.Samples = 6
+	specA := GridSpec{
+		Benchmarks: []string{"crc", "fft"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+		Options:    opt, Workers: 2, Store: st,
+	}
+	specB := GridSpec{
+		Benchmarks: []string{"fft", "nw"}, // fft/tiny cells overlap with specA
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"gtx1080", "k20m"},
+		Options:    opt, Workers: 2, Store: st,
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for _, spec := range []GridSpec{specA, specB} {
+		wg.Add(1)
+		go func(spec GridSpec) {
+			defer wg.Done()
+			if _, err := RunGrid(reg, spec); err != nil {
+				errCh <- err
+			}
+		}(spec)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Union sweep: every cell of both specs must now hit.
+	union := GridSpec{
+		Benchmarks: []string{"crc", "fft", "nw"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
+		Options:    opt, Workers: 4, Store: st,
+	}
+	g, err := RunGrid(reg, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// specA covers crc,fft × i7,gtx; specB covers fft,nw × gtx,k20m. The
+	// union adds crc/k20m, nw/i7 and fft/i7,k20m-style corners as misses.
+	wantHits := 2*2 + 2*2 - 1 // 8 written minus the shared fft/gtx1080 duplicate
+	if g.StoreHits != wantHits {
+		t.Fatalf("union sweep: %d hits, want %d", g.StoreHits, wantHits)
+	}
+	if g.StoreHits+g.StoreMisses != g.Cells() {
+		t.Fatalf("hits %d + misses %d != cells %d", g.StoreHits, g.StoreMisses, g.Cells())
+	}
+}
+
+// TestUnknownSizeAndDeviceFailLoudly: a typo'd -sizes or -devices value
+// must name the sorted valid values instead of being silently skipped.
+func TestUnknownSizeAndDeviceFailLoudly(t *testing.T) {
+	reg := suite.New()
+	opt := DefaultOptions()
+	opt.Samples = 4
+
+	_, err := RunGrid(reg, GridSpec{
+		Benchmarks: []string{"crc"},
+		Sizes:      []string{"tinny"},
+		Devices:    []string{"i7-6700k"},
+		Options:    opt,
+	})
+	if err == nil {
+		t.Fatal("unknown size silently accepted")
+	}
+	for _, want := range []string{"tinny", "tiny", "small", "medium", "large"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("size error %q does not mention %q", err, want)
+		}
+	}
+
+	_, err = RunGrid(reg, GridSpec{
+		Benchmarks: []string{"crc"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"gtx1081"},
+		Options:    opt,
+	})
+	if err == nil {
+		t.Fatal("unknown device silently accepted")
+	}
+	for _, want := range []string{"gtx1081", "gtx1080", "i7-6700k"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("device error %q does not mention %q", err, want)
+		}
+	}
+
+	// A size valid for some selected benchmarks but not others still just
+	// narrows the rows (nqueens is single-size).
+	g, err := RunGrid(reg, GridSpec{
+		Benchmarks: []string{"crc", "nqueens"},
+		Sizes:      []string{"large"},
+		Devices:    []string{"i7-6700k"},
+		Options:    opt,
+	})
+	if err != nil {
+		t.Fatalf("partially-supported size rejected: %v", err)
+	}
+	if g.Cells() != 1 {
+		t.Fatalf("%d cells, want crc/large only", g.Cells())
+	}
+}

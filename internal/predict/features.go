@@ -87,11 +87,21 @@ func FeatureNames() []string {
 	return append(names, deviceFeatureNames...)
 }
 
+// Features assembles the model's feature vector for any workload × device
+// pair: the ops-weighted AIWC vector of the kernels, the log launch count,
+// then the device vector. The device need not have been measured — profiles
+// are device-independent, so pairing a measured benchmark's profiles with
+// any DeviceSpec yields a valid query point. This is how dwarfserve answers
+// /v1/predict for cells absent from the store.
+func Features(profiles []*sim.KernelProfile, launches int, dev *sim.DeviceSpec) []float64 {
+	v := aiwc.Aggregate(profiles).Vector()
+	v = append(v, math.Log1p(float64(launches)))
+	return append(v, DeviceVector(dev)...)
+}
+
 // CellFeatures assembles the feature vector of one measured cell.
 func CellFeatures(m *harness.Measurement) []float64 {
-	v := aiwc.Aggregate(m.Profiles).Vector()
-	v = append(v, math.Log1p(float64(m.KernelLaunches)))
-	return append(v, DeviceVector(m.Device)...)
+	return Features(m.Profiles, m.KernelLaunches, m.Device)
 }
 
 // FromGrid flattens every measured cell into a training row. Rows come out

@@ -237,3 +237,15 @@ func FigureBoxes(w io.Writer, g *harness.Grid, bench, size string, width int) {
 			BoxPlotASCII(k.Min, k.Q1, k.Median, k.Q3, k.Max, maxNs, width), k.Median/1e6)
 	}
 }
+
+// StoreStats prints the one-line cache outcome of a store-backed grid run:
+// how many cells were served from the persistent store versus measured, and
+// the hit rate. It prints nothing for runs without a store attached.
+func StoreStats(w io.Writer, g *harness.Grid) {
+	total := g.StoreHits + g.StoreMisses
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(w, "store: %d/%d cells served from store, %d measured (%.1f%% hit rate)\n",
+		g.StoreHits, total, g.StoreMisses, g.HitRate())
+}

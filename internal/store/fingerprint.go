@@ -1,0 +1,31 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint derives the deterministic content key of a cell from its
+// identifying parts. Each part is canonicalised through encoding/json
+// (struct fields in declaration order, map keys sorted) and fed to SHA-256
+// with a length prefix, so no two distinct part sequences can collide by
+// concatenation. Parts must be JSON-marshalable; anything else is a
+// programmer error and panics.
+func Fingerprint(parts ...any) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for i, p := range parts {
+		b, err := json.Marshal(p)
+		if err != nil {
+			panic(fmt.Sprintf("store: fingerprint part %d: %v", i, err))
+		}
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

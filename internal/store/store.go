@@ -1,0 +1,350 @@
+// Package store persists measured grid cells across processes. Every cell
+// is keyed by a deterministic content fingerprint (see fingerprint.go) and
+// written as one JSON line to an append-only segment file; opening a store
+// replays the compacted snapshot and then every segment in name order, so
+// later writes win and a store survives crashes mid-append (a torn final
+// line without a newline is discarded, anything else is an error).
+//
+// The in-memory index is sharded: readers and writers of different keys
+// proceed concurrently on separate shard locks, and the segment append path
+// holds its own mutex only for the file write. Compact rewrites the live
+// record set into a fresh snapshot and deletes the replayed segments.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const (
+	snapshotName = "snapshot.jsonl"
+	segmentGlob  = "seg-*.jsonl"
+)
+
+// Record is one stored cell: the fingerprint key, enough metadata to list
+// and filter without decoding, and the opaque JSON payload.
+type Record struct {
+	Key       string          `json:"key"`
+	Benchmark string          `json:"benchmark,omitempty"`
+	Size      string          `json:"size,omitempty"`
+	Device    string          `json:"device,omitempty"`
+	Schema    int             `json:"schema,omitempty"`
+	Value     json.RawMessage `json:"value"`
+}
+
+const nShards = 16
+
+type shard struct {
+	mu   sync.RWMutex
+	recs map[string]*Record
+}
+
+// Store is a persistent fingerprint → record map backed by JSONL segments.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir    string
+	shards [nShards]shard
+
+	// wmu serialises segment appends and compaction.
+	wmu      sync.Mutex
+	seg      *os.File
+	segPath  string
+	replayed []string // snapshot + segment files loaded at Open, compaction input
+}
+
+// Open loads (creating if necessary) the store at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir}
+	for i := range s.shards {
+		s.shards[i].recs = make(map[string]*Record)
+	}
+
+	var files []string
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err == nil {
+		files = append(files, filepath.Join(dir, snapshotName))
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	files = append(files, segs...)
+	for _, f := range files {
+		if err := s.replay(f); err != nil {
+			return nil, err
+		}
+	}
+	s.replayed = files
+	return s, nil
+}
+
+// replay loads one JSONL file into the index, later lines overriding earlier
+// ones. A torn final line (no trailing newline, from a crash mid-append) is
+// silently dropped; a malformed interior line is an error.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(bytes.TrimSpace(line)) > 0 {
+				return nil // torn tail write, discard
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+		}
+		if rec.Key == "" {
+			return fmt.Errorf("store: %s line %d: record with empty key", path, lineNo)
+		}
+		sh := s.shard(rec.Key)
+		sh.recs[rec.Key] = &rec
+	}
+}
+
+func (s *Store) shard(key string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return &s.shards[h.Sum32()%nShards]
+}
+
+// Get returns the stored payload for key. The returned bytes must not be
+// modified.
+func (s *Store) Get(key string) (json.RawMessage, bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	rec, ok := sh.recs[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return rec.Value, true
+}
+
+// Lookup returns the full record for key, or nil.
+func (s *Store) Lookup(key string) *Record {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.recs[key]
+}
+
+// Put appends the record to the current segment and publishes it in the
+// index. Re-putting an existing key overwrites it (last write wins).
+func (s *Store) Put(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("store: put with empty key")
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.seg == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.seg.Write(line); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Publish while still holding wmu: the index update must be ordered
+	// with the segment append, or a concurrent Compact could snapshot
+	// without this record yet delete the segment that carries it, and two
+	// racing Puts of one key could leave the index disagreeing with the
+	// on-disk last-write-wins replay. wmu → shard lock is the only nesting
+	// order in the package (Compact's Records() nests the same way), so
+	// this cannot deadlock.
+	sh := s.shard(rec.Key)
+	sh.mu.Lock()
+	sh.recs[rec.Key] = &rec
+	sh.mu.Unlock()
+	return nil
+}
+
+// openSegmentLocked creates this writer's private append segment. O_EXCL
+// plus a retry on the sequence number keeps concurrent processes from
+// sharing a file.
+func (s *Store) openSegmentLocked() error {
+	next := 1
+	if segs, err := filepath.Glob(filepath.Join(s.dir, segmentGlob)); err == nil {
+		for _, seg := range segs {
+			var n int
+			name := filepath.Base(seg)
+			if _, err := fmt.Sscanf(name, "seg-%d.jsonl", &n); err == nil && n >= next {
+				next = n + 1
+			}
+		}
+	}
+	for try := 0; try < 10000; try++ {
+		path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", next+try))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+		if err == nil {
+			s.seg, s.segPath = f, path
+			return nil
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return fmt.Errorf("store: could not allocate a segment in %s", s.dir)
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Records returns a stable listing of every live record, sorted by
+// (benchmark, size, device, key) — the order the serving layer and exports
+// present cells in.
+func (s *Store) Records() []*Record {
+	var out []*Record
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.recs {
+			out = append(out, rec)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// Compact rewrites the live record set into a fresh snapshot (atomically,
+// via rename) and removes the snapshot/segment files it replaces. Records
+// appended by this process after Open are folded in; segments created by
+// other processes since Open are left untouched.
+func (s *Store) Compact() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+
+	recs := s.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+
+	// Drop the files the snapshot now subsumes: everything replayed at Open
+	// plus our own segment.
+	obsolete := append([]string(nil), s.replayed...)
+	if s.seg != nil {
+		s.seg.Close()
+		s.seg = nil
+		obsolete = append(obsolete, s.segPath)
+	}
+	for _, f := range obsolete {
+		if filepath.Base(f) == snapshotName {
+			continue // just replaced in place
+		}
+		if err := os.Remove(f); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.replayed = []string{filepath.Join(s.dir, snapshotName)}
+	return nil
+}
+
+// Close flushes and closes the append segment. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the directory backing the store.
+func (s *Store) Dir() string { return s.dir }
+
+// Segments reports how many snapshot/segment files back the store right
+// now — a health metric for the serving layer.
+func (s *Store) Segments() int {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	n := 0
+	if _, err := os.Stat(filepath.Join(s.dir, snapshotName)); err == nil {
+		n++
+	}
+	if segs, err := filepath.Glob(filepath.Join(s.dir, segmentGlob)); err == nil {
+		n += len(segs)
+	}
+	return n
+}
