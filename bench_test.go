@@ -14,6 +14,8 @@ package opendwarfs
 // paper.
 
 import (
+	"context"
+
 	"io"
 	"testing"
 
@@ -39,7 +41,7 @@ func benchGridOpts() harness.Options {
 // figureGrid regenerates one benchmark's figure series.
 func figureGrid(b *testing.B, bench string, sizes []string) *harness.Grid {
 	b.Helper()
-	g, err := harness.RunGrid(suite.New(), harness.GridSpec{
+	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 		Benchmarks: []string{bench},
 		Sizes:      sizes,
 		Options:    benchGridOpts(),
@@ -205,7 +207,7 @@ func BenchmarkFigure5Energy(b *testing.B) {
 		g = &harness.Grid{}
 		for _, bench := range benches {
 			sizes := []string{dwarfs.SizeLarge}
-			sub, err := harness.RunGrid(suite.New(), harness.GridSpec{
+			sub, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 				Benchmarks: []string{bench},
 				Sizes:      sizes,
 				Devices:    []string{"i7-6700k", "gtx1080"},

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Emits the public API surface of the opendwarfs facade (declarations and
+# doc comments, via `go doc -all`). CI diffs this against the committed
+# snapshot so the redesigned public API cannot change silently; refresh it
+# deliberately with:
+#
+#   ci/apisnapshot.sh > ci/API.txt
+set -e
+cd "$(dirname "$0")/.."
+go doc -all .

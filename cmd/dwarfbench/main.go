@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/harness"
@@ -87,9 +90,13 @@ func main() {
 		defer st.Close()
 	}
 
+	// Ctrl-C cancels cleanly: with -store, completed cells stay persisted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sizes := sizeList(*size, b)
 	if len(sizes) > 1 {
-		runSizes(reg, b, sizes, dev, opt, *parallel, *csvPath, *jsonlPath, *aiwcFlag, st)
+		runSizes(ctx, reg, b, sizes, dev, opt, *parallel, *csvPath, *jsonlPath, *aiwcFlag, st)
 		return
 	}
 	if *parallel != 0 {
@@ -104,7 +111,7 @@ func main() {
 	if st != nil {
 		// Route the single cell through the grid harness so the store's
 		// read/write path is shared with dwarfsweep.
-		g, err := harness.RunGrid(reg, harness.GridSpec{
+		g, err := harness.RunGrid(ctx, reg, harness.GridSpec{
 			Benchmarks: []string{b.Name()},
 			Sizes:      sizes,
 			Devices:    []string{dev.ID()},
@@ -117,7 +124,7 @@ func main() {
 		}
 		m = g.Measurements[0]
 		report.StoreStats(os.Stdout, g)
-	} else if m, err = harness.Run(b, sizes[0], dev, opt); err != nil {
+	} else if m, err = harness.Run(ctx, b, sizes[0], dev, opt); err != nil {
 		fatal(err)
 	}
 
@@ -174,10 +181,10 @@ func sizeList(flagVal string, b dwarfs.Benchmark) []string {
 
 // runSizes measures one benchmark × device across several sizes through
 // the grid harness, sharing one preparation per size across workers.
-func runSizes(reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool, st *store.Store) {
+func runSizes(ctx context.Context, reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool, st *store.Store) {
 	fmt.Printf("Benchmark : %s (%s dwarf), sizes %v\n", b.Name(), b.Dwarf(), sizes)
 	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
-	g, err := harness.RunGrid(reg, harness.GridSpec{
+	g, err := harness.RunGrid(ctx, reg, harness.GridSpec{
 		Benchmarks: []string{b.Name()},
 		Sizes:      sizes,
 		Devices:    []string{dev.ID()},

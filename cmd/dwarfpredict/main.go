@@ -17,13 +17,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/predict"
@@ -89,8 +92,15 @@ func main() {
 		spec.Store = st
 	}
 
-	grid, err := harness.RunGrid(suite.New(), spec)
+	// Ctrl-C cancels the measurement sweep; with -store the completed
+	// cells persist and a re-run resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	grid, err := harness.RunGrid(ctx, suite.New(), spec)
 	if err != nil {
+		if grid != nil && grid.Cells() > 0 && *storeDir != "" {
+			fatal(fmt.Errorf("%w (%d completed cells persisted)", err, grid.Cells()))
+		}
 		fatal(err)
 	}
 	report.StoreStats(os.Stdout, grid)

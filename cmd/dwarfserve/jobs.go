@@ -1,0 +1,415 @@
+package main
+
+// Async sweep jobs: POST /v1/jobs submits a benchmark × size × device
+// selection that dwarfserve measures into its own store, in-process, on the
+// harness event stream. Job state is an append-only event log plus a small
+// status head; the SSE handler replays the log and then follows it live, so
+// any number of watchers can attach at any point of the job's life and all
+// see the same sequence. Completed cells are persisted by the harness
+// before their cell_done event fires, which is what makes cancellation (and
+// daemon shutdown) lossless: whatever the log says completed is on disk.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/suite"
+)
+
+type jobState string
+
+const (
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+// jobRequest is the POST /v1/jobs body. Empty axes mean "all", exactly as
+// in dwarfsweep; options default to the paper methodology (50 samples,
+// seed 1) so a job's cells fingerprint identically to a default sweep's.
+type jobRequest struct {
+	Benchmarks []string `json:"benchmarks"`
+	Sizes      []string `json:"sizes"`
+	Devices    []string `json:"devices"`
+	Samples    int      `json:"samples,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+}
+
+// wireEvent is the SSE/JSON form of one harness event: the summary fields
+// plus the cell's median, without the full measurement payload.
+type wireEvent struct {
+	Kind      string  `json:"kind"`
+	Benchmark string  `json:"benchmark,omitempty"`
+	Size      string  `json:"size,omitempty"`
+	Device    string  `json:"device,omitempty"`
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Hits      int     `json:"store_hits"`
+	Misses    int     `json:"store_misses"`
+	MedianNs  float64 `json:"median_ns,omitempty"`
+	State     string  `json:"state,omitempty"` // terminal job state, grid_done only
+	Error     string  `json:"error,omitempty"`
+}
+
+// job is one asynchronous sweep: identity, cancel handle, and a mutex-
+// guarded (event log, status head, notify channel) triple. notify is
+// closed and replaced on every append, waking all followers.
+type job struct {
+	id      string
+	req     jobRequest
+	cancel  context.CancelFunc
+	started time.Time
+
+	mu       sync.Mutex
+	state    jobState
+	events   []wireEvent
+	done     int
+	total    int
+	hits     int
+	misses   int
+	errMsg   string
+	finished time.Time
+	notify   chan struct{}
+}
+
+func (j *job) append(ev wireEvent) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.done, j.total = ev.Done, ev.Total
+	j.hits, j.misses = ev.Hits, ev.Misses
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *job) finish(state jobState, errMsg string, ev wireEvent) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.events = append(j.events, ev)
+	j.done, j.total = ev.Done, ev.Total
+	j.hits, j.misses = ev.Hits, ev.Misses
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// follow returns the log suffix from index i, whether the job is terminal,
+// and the channel that signals the next append.
+func (j *job) follow(i int) ([]wireEvent, bool, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var tail []wireEvent
+	if i < len(j.events) {
+		tail = append(tail, j.events[i:]...)
+	}
+	return tail, j.state != jobRunning, j.notify
+}
+
+func (j *job) status() map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := map[string]any{
+		"id":           j.id,
+		"state":        j.state,
+		"benchmarks":   j.req.Benchmarks,
+		"sizes":        j.req.Sizes,
+		"devices":      j.req.Devices,
+		"done":         j.done,
+		"total":        j.total,
+		"store_hits":   j.hits,
+		"store_misses": j.misses,
+		"events":       len(j.events),
+		"started":      j.started.UTC().Format(time.RFC3339Nano),
+	}
+	if j.state != jobRunning {
+		st["finished"] = j.finished.UTC().Format(time.RFC3339Nano)
+		st["elapsed_ms"] = float64(j.finished.Sub(j.started)) / 1e6
+	}
+	if j.errMsg != "" {
+		st["error"] = j.errMsg
+	}
+	return st
+}
+
+func toWire(ev harness.Event) wireEvent {
+	w := wireEvent{
+		Kind:      string(ev.Kind),
+		Benchmark: ev.Benchmark,
+		Size:      ev.Size,
+		Device:    ev.Device,
+		Done:      ev.Done,
+		Total:     ev.Total,
+		ElapsedMs: float64(ev.Elapsed) / 1e6,
+		Hits:      ev.Hits,
+		Misses:    ev.Misses,
+	}
+	if ev.Measurement != nil {
+		w.MedianNs = ev.Measurement.Kernel.Median
+	}
+	return w
+}
+
+func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid job request: %v", err))
+		return
+	}
+	opt := harness.DefaultOptions()
+	if req.Samples > 0 {
+		opt.Samples = req.Samples
+	}
+	if req.Seed != 0 {
+		opt.Seed = req.Seed
+	}
+	spec := harness.GridSpec{
+		Benchmarks: req.Benchmarks,
+		Sizes:      req.Sizes,
+		Devices:    req.Devices,
+		Options:    opt,
+		Workers:    req.Workers,
+		Store:      s.st,
+	}
+
+	s.jobMu.Lock()
+	if s.draining {
+		s.jobMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	jobCtx, cancel := context.WithCancel(s.jobsCtx)
+	// Stream validates the selection synchronously: unknown benchmarks,
+	// sizes or devices fail here, before a job is registered.
+	events, err := harness.Stream(jobCtx, suite.New(), spec)
+	if err != nil {
+		s.jobMu.Unlock()
+		cancel()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.jobSeq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.jobSeq),
+		req:     req,
+		cancel:  cancel,
+		started: time.Now(),
+		state:   jobRunning,
+		notify:  make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.pruneJobsLocked()
+	s.jobWG.Add(1)
+	s.jobMu.Unlock()
+
+	go s.runJob(j, events)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     j.id,
+		"state":  jobRunning,
+		"status": "/v1/jobs/" + j.id,
+		"events": "/v1/jobs/" + j.id + "/events",
+	})
+}
+
+// runJob consumes the job's event stream to completion. The harness
+// persists every measured cell before announcing it, so this loop only
+// mirrors events into the log; on the terminal event it settles the job
+// state and reloads the query snapshot from the store so /v1/grid and
+// /v1/predict serve the new cells.
+func (s *server) runJob(j *job, events <-chan harness.Event) {
+	defer s.jobWG.Done()
+	defer j.cancel()
+	for ev := range events {
+		if ev.Kind != harness.EventGridDone {
+			j.append(toWire(ev))
+			continue
+		}
+		state, errMsg := jobDone, ""
+		switch {
+		case ev.Err == nil:
+		case errors.Is(ev.Err, context.Canceled):
+			state = jobCancelled
+		default:
+			state, errMsg = jobFailed, ev.Err.Error()
+		}
+		// Reload even on cancellation or failure: any cells that did
+		// complete are in the store and should be served.
+		if ev.Grid == nil || ev.Grid.Cells() > 0 {
+			if err := s.reloadFromStore(); err != nil {
+				state, errMsg = jobFailed, err.Error()
+			}
+		}
+		wev := toWire(ev)
+		if ev.Grid == nil {
+			// A cell failure yields no grid, so the harness event carries
+			// zero counters; keep the job's running ones — they reflect
+			// what actually completed and persisted before the failure.
+			j.mu.Lock()
+			wev.Done, wev.Hits, wev.Misses = j.done, j.hits, j.misses
+			j.mu.Unlock()
+		}
+		wev.State = string(state)
+		wev.Error = errMsg
+		j.finish(state, errMsg, wev)
+	}
+}
+
+func (s *server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.jobMu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.jobMu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.jobMu.Lock()
+	ids := append([]string(nil), s.jobOrder...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.jobMu.Unlock()
+	list := make([]map[string]any, 0, len(jobs))
+	for _, j := range jobs {
+		list = append(list, j.status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "jobs": list})
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state == jobRunning {
+		state = "cancelling" // workers stop at their next context check
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "state": state})
+}
+
+// handleJobEvents streams the job's event log as Server-Sent Events:
+// replay from the start, then follow live appends until the terminal
+// grid_done event or client disconnect. Each event goes out as
+//
+//	event: cell_done
+//	data: {"kind":"cell_done","benchmark":...}
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sent := 0
+	for {
+		tail, terminal, next := j.follow(sent)
+		for _, ev := range tail {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data); err != nil {
+				return // client went away
+			}
+			sent++
+		}
+		flusher.Flush()
+		if terminal && func() bool { j.mu.Lock(); defer j.mu.Unlock(); return sent == len(j.events) }() {
+			return
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// maxRetainedJobs bounds the registry of a long-lived daemon: once
+// exceeded, the oldest *terminal* jobs (and their event logs) are evicted.
+// Running jobs are never evicted, so the registry can exceed the cap only
+// while that many sweeps are actually in flight.
+const maxRetainedJobs = 64
+
+// pruneJobsLocked evicts the oldest terminal jobs beyond maxRetainedJobs.
+// Callers hold s.jobMu.
+func (s *server) pruneJobsLocked() {
+	excess := len(s.jobOrder) - maxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.state != jobRunning
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// runningJobs counts non-terminal jobs (for the shutdown log line).
+func (s *server) runningJobs() int {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == jobRunning {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// shutdownJobs rejects new jobs, cancels every running one through its
+// context, and waits for their event streams to settle. By the time it
+// returns, every completed cell is in the store and every job log ends
+// with a terminal grid_done event.
+func (s *server) shutdownJobs() {
+	s.jobMu.Lock()
+	s.draining = true
+	s.jobMu.Unlock()
+	s.jobsCancel()
+	s.jobWG.Wait()
+}

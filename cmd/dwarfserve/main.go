@@ -1,26 +1,45 @@
 // Command dwarfserve serves a persistent result store over HTTP — the
-// query side of the dwarfsweep/dwarfbench/dwarfpredict -store pipeline.
-// It loads every cell of the store into an in-memory index at startup
-// (the store's own index is sharded by fingerprint; the server adds O(1)
-// cell addressing by benchmark × size × device) and answers JSON queries:
+// query and execution side of the dwarfsweep/dwarfbench/dwarfpredict
+// -store pipeline. It loads every cell of the store into an in-memory
+// index at startup (the store's own index is sharded by fingerprint; the
+// server adds O(1) cell addressing by benchmark × size × device) and
+// answers JSON queries:
 //
-//	GET /healthz                                  liveness + cell count
-//	GET /v1/cells?bench=fft&size=tiny&device=gtx1080   filtered cell summaries
-//	GET /v1/grid                                  every cell + the grid axes
-//	GET /v1/predict?bench=fft&size=tiny&device=gtx1080  runtime prediction
+//	GET    /healthz                               liveness + cell and job counts
+//	GET    /v1/cells?bench=fft&size=tiny&device=gtx1080   filtered cell summaries
+//	GET    /v1/grid                               every cell + the grid axes
+//	GET    /v1/predict?bench=fft&size=tiny&device=gtx1080  runtime prediction
+//
+// Beyond queries, dwarfserve executes sweeps asynchronously: a job measures
+// a benchmark × size × device selection into the store (cells already
+// present are store hits), streams per-cell progress, and on completion the
+// server reloads its index so /v1/grid and /v1/predict see the new cells —
+// identical, byte for byte, to a synchronous dwarfsweep of the same
+// selection:
+//
+//	POST   /v1/jobs            submit a sweep {"benchmarks":[...],"sizes":[...],"devices":[...]}
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}        job status + progress counters
+//	GET    /v1/jobs/{id}/events  per-cell event stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel; completed cells stay persisted
 //
 // /v1/predict trains the internal/predict random forest over all stored
-// cells on first use (deterministic in -seed) and answers for any
-// catalogue device — including devices the benchmark never ran on, the
-// paper's §7 scenario: the AIWC workload features come from the stored
-// measurements of that benchmark × size, the device features from the
-// catalogue spec.
+// cells on first use (deterministic in -seed, retrained after a job adds
+// cells) and answers for any catalogue device — including devices the
+// benchmark never ran on, the paper's §7 scenario.
+//
+// SIGINT/SIGTERM shut down gracefully: running jobs are cancelled through
+// their contexts (completed cells are already flushed to the store — the
+// write path persists each cell before announcing it), event streams end
+// with their terminal grid_done, and in-flight HTTP requests drain through
+// http.Server.Shutdown before the store is closed.
 //
 //	dwarfsweep -sizes tiny -store results/
 //	dwarfserve -store results/ -addr :7077
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,7 +47,10 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/predict"
@@ -44,6 +66,7 @@ func main() {
 		trees    = flag.Int("trees", def.Trees, "forest size for /v1/predict")
 		depth    = flag.Int("depth", def.MaxDepth, "maximum tree depth for /v1/predict")
 		seed     = flag.Int64("seed", def.Seed, "training seed for /v1/predict")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -65,59 +88,137 @@ func main() {
 	cfg.Trees, cfg.MaxDepth, cfg.Seed = *trees, *depth, *seed
 
 	srv := newServer(st, grid, cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	log.Printf("dwarfserve: %d cells from %s (%d segment files), listening on %s",
 		grid.Cells(), *storeDir, st.Segments(), *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: cancel running jobs first — their workers stop
+	// claiming cells, in-flight measurements abort, and every completed
+	// cell is already in the store — then drain HTTP connections (the
+	// cancelled jobs' SSE streams end with grid_done, so they drain too),
+	// and finally close the store.
+	log.Printf("dwarfserve: shutting down: cancelling %d running job(s), draining connections", srv.runningJobs())
+	srv.shutdownJobs()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("dwarfserve: drain: %v", err)
+	}
+	if err := st.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
 		os.Exit(1)
 	}
+	log.Printf("dwarfserve: store closed, bye")
 }
 
-// server answers queries from a grid snapshot loaded at startup. Sweeps
-// that append to the store after startup become visible on restart.
+// server answers queries from a grid snapshot of the store. The snapshot is
+// loaded at startup and reloaded whenever an async job finishes, so query
+// handlers see new cells without a restart; sweeps run by other processes
+// still become visible on restart only.
 type server struct {
-	st   *store.Store
-	grid *harness.Grid
-	mux  *http.ServeMux
-	// byCell gives O(1) cell addressing; the axes are the distinct values
-	// in store listing order.
+	st  *store.Store
+	mux *http.ServeMux
+	cfg predict.Config
+
+	// mu guards the query snapshot: the grid, the O(1) cell index and the
+	// axes (distinct values in store listing order).
+	mu                         sync.RWMutex
+	grid                       *harness.Grid
 	byCell                     map[string]*harness.Measurement
 	benchmarks, sizes, devices []string
+	gridGen                    int // bumped per reload; stale forests retrain
 
-	cfg predict.Config
-	// The forest is trained once, on first /v1/predict, over every stored
-	// cell; training is deterministic in cfg.Seed.
-	trainOnce sync.Once
-	forest    *predict.Forest
-	trainErr  error
+	// The forest is trained lazily on first /v1/predict over the snapshot
+	// of the current generation; a reload invalidates it.
+	trainMu    sync.Mutex
+	trainedGen int
+	forest     *predict.Forest
+	trainErr   error
+
+	// Async sweep jobs; see jobs.go.
+	jobMu      sync.Mutex
+	jobs       map[string]*job
+	jobOrder   []string // creation order, for listing
+	jobSeq     int
+	jobsCtx    context.Context // parent of every job context
+	jobsCancel context.CancelFunc
+	jobWG      sync.WaitGroup
+	draining   bool // set at shutdown: new jobs are rejected
 }
 
 func cellID(bench, size, device string) string { return bench + "\x00" + size + "\x00" + device }
 
 func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server {
-	s := &server{st: st, grid: grid, cfg: cfg, byCell: make(map[string]*harness.Measurement, grid.Cells())}
-	seenB, seenS, seenD := map[string]bool{}, map[string]bool{}, map[string]bool{}
-	for _, m := range grid.Measurements {
-		s.byCell[cellID(m.Benchmark, m.Size, m.Device.ID)] = m
-		if !seenB[m.Benchmark] {
-			seenB[m.Benchmark] = true
-			s.benchmarks = append(s.benchmarks, m.Benchmark)
-		}
-		if !seenS[m.Size] {
-			seenS[m.Size] = true
-			s.sizes = append(s.sizes, m.Size)
-		}
-		if !seenD[m.Device.ID] {
-			seenD[m.Device.ID] = true
-			s.devices = append(s.devices, m.Device.ID)
-		}
+	s := &server{
+		st:         st,
+		cfg:        cfg,
+		trainedGen: -1,
+		jobs:       make(map[string]*job),
 	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	s.setGrid(grid)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
+}
+
+// setGrid installs a fresh query snapshot and invalidates the forest.
+func (s *server) setGrid(grid *harness.Grid) {
+	byCell := make(map[string]*harness.Measurement, grid.Cells())
+	var benchmarks, sizes, devices []string
+	seenB, seenS, seenD := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, m := range grid.Measurements {
+		byCell[cellID(m.Benchmark, m.Size, m.Device.ID)] = m
+		if !seenB[m.Benchmark] {
+			seenB[m.Benchmark] = true
+			benchmarks = append(benchmarks, m.Benchmark)
+		}
+		if !seenS[m.Size] {
+			seenS[m.Size] = true
+			sizes = append(sizes, m.Size)
+		}
+		if !seenD[m.Device.ID] {
+			seenD[m.Device.ID] = true
+			devices = append(devices, m.Device.ID)
+		}
+	}
+	s.mu.Lock()
+	s.grid, s.byCell = grid, byCell
+	s.benchmarks, s.sizes, s.devices = benchmarks, sizes, devices
+	s.gridGen++
+	s.mu.Unlock()
+}
+
+// reloadFromStore rebuilds the snapshot from the store — called after a
+// job lands new cells, so queries (and the CI byte-for-byte check) see
+// exactly what a fresh GridFromStore would.
+func (s *server) reloadFromStore() error {
+	grid, err := harness.GridFromStore(s.st)
+	if err != nil {
+		return err
+	}
+	s.setGrid(grid)
+	return nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -165,11 +266,18 @@ func summarize(m *harness.Measurement) cellSummary {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	cells := s.grid.Cells()
+	s.mu.RUnlock()
+	s.jobMu.Lock()
+	jobs := len(s.jobs)
+	s.jobMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"cells":    s.grid.Cells(),
+		"cells":    cells,
 		"segments": s.st.Segments(),
 		"schema":   harness.StoreSchemaVersion,
+		"jobs":     jobs,
 	})
 }
 
@@ -177,6 +285,7 @@ func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	bench, size, device := q.Get("bench"), q.Get("size"), q.Get("device")
 	cells := []cellSummary{}
+	s.mu.RLock()
 	for _, m := range s.grid.Measurements {
 		if (bench == "" || m.Benchmark == bench) &&
 			(size == "" || m.Size == size) &&
@@ -184,21 +293,25 @@ func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
 			cells = append(cells, summarize(m))
 		}
 	}
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(cells), "cells": cells})
 }
 
 func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
 	cells := make([]cellSummary, 0, s.grid.Cells())
 	for _, m := range s.grid.Measurements {
 		cells = append(cells, summarize(m))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"benchmarks": s.benchmarks,
 		"sizes":      s.sizes,
 		"devices":    s.devices,
 		"count":      len(cells),
 		"cells":      cells,
-	})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -209,16 +322,22 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Snapshot the generation's grid: training and lookup must agree even
+	// if a job reloads the snapshot mid-request.
+	s.mu.RLock()
+	grid, gen, devices := s.grid, s.gridGen, s.devices
 	// The workload half of the feature vector comes from any stored
 	// measurement of this benchmark × size — AIWC profiles are
 	// device-independent, so the first one is as good as any.
 	var src *harness.Measurement
-	for _, d := range s.devices {
+	for _, d := range devices {
 		if m := s.byCell[cellID(bench, size, d)]; m != nil {
 			src = m
 			break
 		}
 	}
+	actual := s.byCell[cellID(bench, size, device)]
+	s.mu.RUnlock()
 	if src == nil {
 		writeError(w, http.StatusNotFound,
 			fmt.Sprintf("no stored measurement of %s/%s on any device; sweep it into the store first", bench, size))
@@ -228,7 +347,6 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// The device half comes from the stored cell when this exact device
 	// was measured, otherwise from the catalogue — which is what lets the
 	// daemon answer for devices the benchmark never ran on.
-	actual := s.byCell[cellID(bench, size, device)]
 	var spec *sim.DeviceSpec
 	if actual != nil {
 		spec = actual.Device
@@ -240,33 +358,48 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.trainOnce.Do(func() {
-		ds, err := predict.FromGrid(s.grid)
-		if err != nil {
-			s.trainErr = err
-			return
-		}
-		s.forest, s.trainErr = predict.Train(ds, s.cfg)
-	})
-	if s.trainErr != nil {
-		writeError(w, http.StatusInternalServerError, s.trainErr.Error())
+	forest, err := s.trainedForest(grid, gen)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 
-	predNs := s.forest.PredictNs(predict.Features(src.Profiles, src.KernelLaunches, spec))
+	predNs := forest.PredictNs(predict.Features(src.Profiles, src.KernelLaunches, spec))
 	resp := map[string]any{
 		"benchmark":      bench,
 		"size":           size,
 		"device":         device,
 		"predicted_ns":   predNs,
 		"measured":       actual != nil,
-		"training_cells": s.grid.Cells(),
+		"training_cells": grid.Cells(),
 	}
 	if actual != nil {
 		resp["actual_ns"] = actual.Kernel.Median
 		resp["ape"] = 100 * math.Abs(predNs-actual.Kernel.Median) / actual.Kernel.Median
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// trainedForest returns the forest for the given snapshot generation,
+// training it (deterministically in cfg.Seed) when the cached one is
+// missing or was trained on an older generation. A request that snapshot
+// its grid before a reload trains without caching, so a straggler can
+// never overwrite a newer generation's forest and force re-training.
+func (s *server) trainedForest(grid *harness.Grid, gen int) (*predict.Forest, error) {
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+	if s.trainedGen == gen {
+		return s.forest, s.trainErr
+	}
+	ds, err := predict.FromGrid(grid)
+	if err != nil {
+		return nil, err
+	}
+	forest, trainErr := predict.Train(ds, s.cfg)
+	if gen > s.trainedGen {
+		s.forest, s.trainErr, s.trainedGen = forest, trainErr, gen
+	}
+	return forest, trainErr
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

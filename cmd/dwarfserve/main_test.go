@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/predict"
@@ -22,7 +26,7 @@ func newTestServer(t *testing.T) (*server, *harness.Grid) {
 	}
 	opt := harness.DefaultOptions()
 	opt.Samples = 6
-	g, err := harness.RunGrid(suite.New(), harness.GridSpec{
+	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 		Benchmarks: []string{"crc", "fft"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"i7-6700k", "gtx1080"},
@@ -144,4 +148,256 @@ func TestPredictMeasuredAndUnmeasured(t *testing.T) {
 	get(t, srv, "/v1/predict?bench=fft&size=tiny&device=gtx1081", http.StatusNotFound)
 	// Missing parameters → 400.
 	get(t, srv, "/v1/predict?bench=fft", http.StatusBadRequest)
+}
+
+// postJob submits a job and returns its ID.
+func postJob(t *testing.T, srv *server, body string, wantCode int) string {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("POST /v1/jobs: status %d (body %s), want %d", rec.Code, rec.Body, wantCode)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("POST /v1/jobs: invalid JSON %q: %v", rec.Body, err)
+	}
+	id, _ := resp["id"].(string)
+	return id
+}
+
+// waitJob polls the status endpoint until the job leaves the running state.
+func waitJob(t *testing.T, srv *server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		body := get(t, srv, "/v1/jobs/"+id, http.StatusOK)
+		if body["state"] != string(jobRunning) {
+			return body
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s still running after 30s", id)
+	return nil
+}
+
+// TestJobSweepRoundTrip is the async acceptance path: a job extends the
+// store with a new device, SSE delivers its per-cell events live, and the
+// resulting /v1/grid is byte-for-byte what a synchronous sweep of the same
+// selection serves.
+func TestJobSweepRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t) // crc,fft × tiny × i7-6700k,gtx1080 = 4 cells
+
+	// A live SSE follower attached before the job exists would 404; attach
+	// right after submit, while the job runs, and follow it to the end.
+	id := postJob(t, srv,
+		`{"benchmarks":["crc","fft"],"sizes":["tiny"],"devices":["i7-6700k","gtx1080","k20m"],"samples":6}`,
+		http.StatusAccepted)
+	if id == "" {
+		t.Fatal("job submission returned no id")
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sse, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	if got := sse.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Fatalf("SSE content type %q", got)
+	}
+	var kinds []string
+	var lastData string
+	scanner := bufio.NewScanner(sse.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			kinds = append(kinds, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must end by itself after the terminal event.
+	if len(kinds) == 0 || kinds[len(kinds)-1] != "grid_done" {
+		t.Fatalf("SSE kinds %v: want a trailing grid_done", kinds)
+	}
+	cellEvents := 0
+	for _, k := range kinds {
+		if k == "cell_done" || k == "store_hit" {
+			cellEvents++
+		}
+	}
+	if cellEvents != 6 {
+		t.Fatalf("%d completion events over SSE, want 6", cellEvents)
+	}
+	var terminal map[string]any
+	if err := json.Unmarshal([]byte(lastData), &terminal); err != nil {
+		t.Fatalf("terminal SSE data %q: %v", lastData, err)
+	}
+	if terminal["state"] != string(jobDone) {
+		t.Fatalf("terminal event state %v", terminal["state"])
+	}
+	// 4 cells pre-existed (store hits), k20m's 2 were measured.
+	if terminal["store_hits"].(float64) != 4 || terminal["store_misses"].(float64) != 2 {
+		t.Fatalf("terminal hits/misses %v/%v, want 4/2", terminal["store_hits"], terminal["store_misses"])
+	}
+
+	status := waitJob(t, srv, id)
+	if status["state"] != string(jobDone) {
+		t.Fatalf("job state %v, want done: %v", status["state"], status)
+	}
+	if status["done"].(float64) != 6 || status["total"].(float64) != 6 {
+		t.Fatalf("job progress %v/%v, want 6/6", status["done"], status["total"])
+	}
+
+	// The query snapshot was reloaded: 6 cells served.
+	if body := get(t, srv, "/healthz", http.StatusOK); int(body["cells"].(float64)) != 6 {
+		t.Fatalf("cells after job %v, want 6", body["cells"])
+	}
+
+	// Byte-for-byte: a synchronous sweep of the same selection into a
+	// fresh store serves an identical /v1/grid.
+	st2, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := harness.DefaultOptions()
+	opt.Samples = 6
+	if _, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
+		Benchmarks: []string{"crc", "fft"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
+		Options:    opt,
+		Workers:    2,
+		Store:      st2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	syncGrid, err := harness.GridFromStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncSrv := newServer(st2, syncGrid, predict.DefaultConfig())
+
+	rawAsync := getRaw(t, srv, "/v1/grid")
+	rawSync := getRaw(t, syncSrv, "/v1/grid")
+	if rawAsync != rawSync {
+		t.Fatalf("async and sync /v1/grid differ:\nasync: %s\nsync:  %s", rawAsync, rawSync)
+	}
+}
+
+func getRaw(t *testing.T, srv *server, url string) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// TestJobCancel cancels a large job mid-flight: the job settles in a
+// terminal state, the store agrees exactly with the reported progress, and
+// the query snapshot serves the completed cells.
+func TestJobCancel(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st, &harness.Grid{}, predict.DefaultConfig())
+
+	// The full suite across all sizes on two devices: large enough that
+	// the DELETE lands long before completion.
+	id := postJob(t, srv, `{"devices":["i7-6700k","gtx1080"],"samples":6}`, http.StatusAccepted)
+	req := httptest.NewRequest("DELETE", "/v1/jobs/"+id, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d", rec.Code)
+	}
+
+	status := waitJob(t, srv, id)
+	state := status["state"].(string)
+	if state != string(jobCancelled) && state != string(jobDone) {
+		t.Fatalf("cancelled job settled as %q", state)
+	}
+	done := int(status["done"].(float64))
+	if state == string(jobCancelled) && done >= int(status["total"].(float64)) {
+		t.Fatal("cancelled job claims full completion")
+	}
+	// Lossless shutdown: every completed cell is in the store, and the
+	// reloaded snapshot serves exactly those.
+	if st.Len() != done {
+		t.Fatalf("store holds %d cells, job reported %d completed", st.Len(), done)
+	}
+	if body := get(t, srv, "/healthz", http.StatusOK); int(body["cells"].(float64)) != done {
+		t.Fatalf("snapshot serves %v cells, want %d", body["cells"], done)
+	}
+}
+
+// TestJobValidationAndLookups: bad selections fail at submit time with no
+// job registered; unknown job IDs 404.
+func TestJobValidationAndLookups(t *testing.T) {
+	srv, _ := newTestServer(t)
+	postJob(t, srv, `{"benchmarks":["nosuch"]}`, http.StatusBadRequest)
+	postJob(t, srv, `{not json`, http.StatusBadRequest)
+	if body := get(t, srv, "/v1/jobs", http.StatusOK); int(body["count"].(float64)) != 0 {
+		t.Fatalf("rejected submissions registered jobs: %v", body)
+	}
+	get(t, srv, "/v1/jobs/job-999999", http.StatusNotFound)
+
+	req := httptest.NewRequest("DELETE", "/v1/jobs/job-999999", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: status %d", rec.Code)
+	}
+}
+
+// TestShutdownCancelsJobs: shutdownJobs() drives running jobs to a
+// terminal state and new submissions are rejected while draining.
+func TestShutdownCancelsJobs(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st, &harness.Grid{}, predict.DefaultConfig())
+	id := postJob(t, srv, `{"devices":["i7-6700k","gtx1080"],"samples":6}`, http.StatusAccepted)
+
+	srv.shutdownJobs() // blocks until the job settles
+
+	body := get(t, srv, "/v1/jobs/"+id, http.StatusOK)
+	if body["state"] == string(jobRunning) {
+		t.Fatalf("job still running after shutdownJobs: %v", body)
+	}
+	if st.Len() != int(body["done"].(float64)) {
+		t.Fatalf("store holds %d cells, job completed %v — shutdown lost cells", st.Len(), body["done"])
+	}
+	postJob(t, srv, `{"benchmarks":["crc"],"sizes":["tiny"],"devices":["i7-6700k"]}`, http.StatusServiceUnavailable)
+}
+
+// TestPredictRetrainsAfterJob: the forest is invalidated when a job adds
+// cells — training_cells must track the new snapshot.
+func TestPredictRetrainsAfterJob(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := get(t, srv, "/v1/predict?bench=fft&size=tiny&device=gtx1080", http.StatusOK)
+	if int(body["training_cells"].(float64)) != 4 {
+		t.Fatalf("training_cells %v, want 4", body["training_cells"])
+	}
+	id := postJob(t, srv, `{"benchmarks":["crc","fft"],"sizes":["tiny"],"devices":["k20m"],"samples":6}`, http.StatusAccepted)
+	waitJob(t, srv, id)
+	body = get(t, srv, "/v1/predict?bench=fft&size=tiny&device=k20m", http.StatusOK)
+	if body["measured"] != true {
+		t.Fatalf("k20m cell not measured after job: %v", body)
+	}
+	if int(body["training_cells"].(float64)) != 6 {
+		t.Fatalf("training_cells after job %v, want 6 (forest not retrained)", body["training_cells"])
+	}
 }

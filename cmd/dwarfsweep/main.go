@@ -24,10 +24,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/report"
@@ -71,7 +75,6 @@ func main() {
 		Devices:    split(*devices),
 		Options:    opt,
 		Workers:    *parallel,
-		Progress:   os.Stdout,
 	}
 	var st *store.Store
 	if *storeDir != "" {
@@ -82,13 +85,45 @@ func main() {
 		}
 		spec.Store = st
 	}
-	reg := suite.New()
-	grid, err := harness.RunGrid(reg, spec)
+
+	// SIGINT/SIGTERM cancel the sweep instead of killing it: workers stop,
+	// in-flight cells abort at their next context check, and every
+	// completed cell has already been persisted to the store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The sweep is driven off the typed event stream: one progress line
+	// per completed cell, then the terminal grid_done carries the grid.
+	events, err := harness.Stream(ctx, suite.New(), spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n%d grid cells measured\n", grid.Cells())
+	var grid *harness.Grid
+	var runErr error
+	for ev := range events {
+		switch ev.Kind {
+		case harness.EventCellDone, harness.EventStoreHit:
+			fmt.Println(ev.ProgressLine())
+		case harness.EventGridDone:
+			grid, runErr = ev.Grid, ev.Err
+		}
+	}
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) && grid != nil {
+			fmt.Fprintf(os.Stderr, "dwarfsweep: sweep cancelled after %d completed cells", grid.Cells())
+			if st != nil {
+				fmt.Fprintf(os.Stderr, " (all persisted to %s; re-running resumes from them)", *storeDir)
+				report.StoreStats(os.Stdout, grid)
+				st.Close()
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "dwarfsweep:", runErr)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d grid cells measured in %s\n", grid.Cells(), grid.Elapsed.Round(1e6))
 	if st != nil {
 		report.StoreStats(os.Stdout, grid)
 		if *compact {

@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/harness"
@@ -115,9 +118,11 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	grid := &harness.Grid{}
 	for bench, sizes := range needed {
-		g, err := harness.RunGrid(reg, harness.GridSpec{
+		g, err := harness.RunGrid(ctx, reg, harness.GridSpec{
 			Benchmarks: []string{bench},
 			Sizes:      sizes,
 			Options:    opt,

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math/rand"
@@ -221,7 +223,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := harness.Run(b, dwarfs.SizeSmall, dev, opt)
+		m, err := harness.Run(context.Background(), b, dwarfs.SizeSmall, dev, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

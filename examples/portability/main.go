@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -26,7 +28,7 @@ func main() {
 	// One size per benchmark keeps this quick; profiles are what matter.
 	// Workers: 0 measures cells on all CPUs, one shared preparation per
 	// benchmark × size row.
-	grid, err := harness.RunGrid(suite.New(), harness.GridSpec{
+	grid, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 		Sizes:   []string{"small", "tiny"}, // tiny covers nqueens
 		Options: opt,
 		Workers: 0,

@@ -1,10 +1,12 @@
 // Quickstart: run one benchmark on a CPU and a GPU and compare, the
-// "hello world" of the Extended OpenDwarfs suite.
+// "hello world" of the Extended OpenDwarfs suite — on the context-aware
+// Session API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,14 +14,19 @@ import (
 )
 
 func main() {
-	opt := opendwarfs.DefaultOptions()
+	ctx := context.Background()
+	sess, err := opendwarfs.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	fmt.Println("Extended OpenDwarfs quickstart: kmeans (MapReduce dwarf), tiny size")
 	fmt.Println("(tiny = working set sized for the Skylake 32 KiB L1, §4.4)")
 	fmt.Println()
 
 	for _, deviceID := range []string{"i7-6700k", "gtx1080"} {
-		res, err := opendwarfs.Run("kmeans", "tiny", deviceID, opt)
+		res, err := sess.Run(ctx, "kmeans", "tiny", deviceID)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -34,7 +41,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("Now the large size, where device differences matter (§5.1):")
 	for _, deviceID := range []string{"i7-6700k", "gtx1080"} {
-		res, err := opendwarfs.Run("srad", "large", deviceID, opt)
+		res, err := sess.Run(ctx, "srad", "large", deviceID)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,14 +2,16 @@
 // choosing the best device for a particular computational task, for example
 // to support scheduling decisions under time and/or energy constraints."
 //
-// This example measures a benchmark slate across all 15 devices and then
-// answers three scheduling questions per benchmark: fastest device, most
-// energy-frugal device, and most energy-frugal device under a time budget.
+// This example measures a benchmark slate across all 15 devices through a
+// Session and then answers three scheduling questions per benchmark:
+// fastest device, most energy-frugal device, and most energy-frugal device
+// under a time budget.
 //
 //	go run ./examples/scheduling
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -18,16 +20,19 @@ import (
 )
 
 func main() {
-	opt := opendwarfs.DefaultOptions()
-	opt.Samples = 20
-	opt.MaxFunctionalOps = 0 // whole-catalogue sweep: timing model
-	opt.Verify = false
+	sess, err := opendwarfs.NewSession(
+		opendwarfs.WithSamples(20),
+		opendwarfs.WithFunctionalBudget(0), // whole-catalogue sweep: timing model
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	benches := []string{"kmeans", "srad", "crc", "nw", "fft"}
-	grid, err := opendwarfs.RunGrid(opendwarfs.GridSpec{
+	grid, err := sess.RunGrid(context.Background(), opendwarfs.Selection{
 		Benchmarks: benches,
 		Sizes:      []string{"large"},
-		Options:    opt,
 	})
 	if err != nil {
 		log.Fatal(err)

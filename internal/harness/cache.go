@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -40,8 +41,11 @@ func newPrepCache() *prepCache {
 }
 
 // prepare returns the cached preparation for (bench, size, opt.Seed),
-// running Prepare exactly once per key.
-func (c *prepCache) prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, error) {
+// running Prepare exactly once per key. The first caller's ctx drives the
+// preparation; if that ctx is cancelled mid-prepare the entry caches the
+// cancellation error, which is fine because the cache is scoped to one
+// grid run and cancellation ends the whole run.
+func (c *prepCache) prepare(ctx context.Context, bench dwarfs.Benchmark, size string, opt Options) (*Preparation, error) {
 	key := prepKey{bench: bench.Name(), size: size, seed: opt.Seed}
 	c.mu.Lock()
 	e := c.entries[key]
@@ -59,7 +63,7 @@ func (c *prepCache) prepare(bench dwarfs.Benchmark, size string, opt Options) (*
 				e.prep, e.err = nil, fmt.Errorf("harness: prepare %s/%s panicked: %v", bench.Name(), size, r)
 			}
 		}()
-		e.prep, e.err = Prepare(bench, size, opt)
+		e.prep, e.err = Prepare(ctx, bench, size, opt)
 	})
 	return e.prep, e.err
 }

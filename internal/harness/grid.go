@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/opencl"
@@ -32,6 +34,10 @@ type GridSpec struct {
 	// Progress, when non-nil, receives one line per completed cell.
 	// Writes are serialised; under concurrency lines arrive in completion
 	// order, each prefixed with a "cell k/n" counter.
+	//
+	// Deprecated: consume the typed event stream instead (Stream, or
+	// opendwarfs.Session.Stream). Progress remains functional for one
+	// release; it is rendered from the same events.
 	Progress io.Writer
 	// Store, when non-nil, makes the run incremental: each cell's
 	// fingerprint (CellKey) is looked up before measuring, hits are decoded
@@ -48,6 +54,9 @@ type Grid struct {
 	// StoreHits and StoreMisses count cells served from / measured into
 	// GridSpec.Store; both are zero when no store was attached.
 	StoreHits, StoreMisses int
+	// Elapsed is the wall-clock duration of the run that produced this
+	// grid (zero for grids assembled by hand or loaded from a store).
+	Elapsed time.Duration
 }
 
 // HitRate returns the store hit percentage of the run (0 with no store).
@@ -164,13 +173,36 @@ func dispatchOrder(nCells, nDevices, workers int) []int {
 // of its devices; see Prepare/Measure. Measurements come back in grid
 // order regardless of worker count, and a parallel grid is cell-for-cell
 // identical to a sequential one.
-func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
-	cells, nDevices, err := planCells(reg, spec)
+//
+// RunGrid is the synchronous view of the event stream: it drains Stream
+// and returns the grid carried by the terminal EventGridDone. When ctx is
+// cancelled mid-grid it returns a valid partial grid — exactly the cells
+// that completed, in grid order, every one already persisted when a store
+// is attached — together with the context's error; re-running the same
+// spec afterwards store-hits precisely those cells.
+func RunGrid(ctx context.Context, reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
+	events, err := Stream(ctx, reg, spec)
 	if err != nil {
 		return nil, err
 	}
+	for ev := range events {
+		if ev.Kind == EventGridDone {
+			return ev.Grid, ev.Err
+		}
+	}
+	// Unreachable: Stream always terminates with EventGridDone.
+	return nil, fmt.Errorf("harness: event stream closed without a grid_done event")
+}
+
+// runGrid is the worker-pool core shared by Stream (and through it,
+// RunGrid). It emits one CellStart per claimed cell and one CellDone or
+// StoreHit per completed cell via emit — which must be non-nil and is
+// called from worker goroutines, serialised by an internal mutex — and
+// renders the legacy spec.Progress lines from those same events.
+func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int, emit func(Event)) (*Grid, error) {
+	started := time.Now()
 	if len(cells) == 0 {
-		return &Grid{}, nil
+		return &Grid{}, ctx.Err()
 	}
 
 	workers := spec.Workers
@@ -182,37 +214,55 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 	}
 
 	var (
-		cache    = newPrepCache()
-		results  = make([]*Measurement, len(cells))
-		errs     = make([]error, len(cells))
-		order    = dispatchOrder(len(cells), nDevices, workers)
-		next     atomic.Int64
-		done     atomic.Int64
-		hits     atomic.Int64
-		misses   atomic.Int64
-		stopped  atomic.Bool
-		progress sync.Mutex
-		wg       sync.WaitGroup
+		cache   = newPrepCache()
+		results = make([]*Measurement, len(cells))
+		errs    = make([]error, len(cells))
+		order   = dispatchOrder(len(cells), nDevices, workers)
+		next    atomic.Int64
+		done    atomic.Int64
+		hits    atomic.Int64
+		misses  atomic.Int64
+		stopped atomic.Bool
+		emitMu  sync.Mutex
+		wg      sync.WaitGroup
 	)
 
-	report := func(m *Measurement, cached bool) {
-		if spec.Progress == nil {
-			return
+	// send serialises event emission. Completion counters are assigned
+	// under the same mutex, so Done (and the hit/miss snapshot) is
+	// monotonically non-decreasing in emission order — consumers never
+	// see "cell 2/n" before "cell 1/n". Completion events also render
+	// the deprecated Progress line so legacy consumers keep working.
+	send := func(ev Event) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if ev.Kind == EventCellDone || ev.Kind == EventStoreHit {
+			ev.Done = int(done.Add(1))
+			ev.Hits, ev.Misses = int(hits.Load()), int(misses.Load())
 		}
-		src := ""
-		if cached {
-			src = "  [store]"
+		if spec.Progress != nil {
+			if line := ev.ProgressLine(); line != "" {
+				fmt.Fprintln(spec.Progress, line)
+			}
 		}
-		progress.Lock()
-		fmt.Fprintf(spec.Progress, "cell %d/%d  %-8s %-7s %-12s median %12.3f ms  CV %5.3f  energy %8.3f J%s%s\n",
-			done.Add(1), len(cells),
-			m.Benchmark, m.Size, m.Device.ID,
-			m.Kernel.Median/1e6, m.Kernel.CV, m.Energy.Median, verifiedTag(m), src)
-		progress.Unlock()
+		emit(ev)
+	}
+
+	cellEvent := func(kind EventKind, c gridCell) Event {
+		return Event{
+			Kind:      kind,
+			Benchmark: c.bench.Name(),
+			Size:      c.size,
+			Device:    c.dev.ID(),
+			Done:      int(done.Load()),
+			Total:     len(cells),
+			Hits:      int(hits.Load()),
+			Misses:    int(misses.Load()),
+		}
 	}
 
 	runCell := func(i int) (err error) {
 		c := cells[i]
+		cellStart := time.Now()
 		// Workers run on their own goroutines, where an escaping panic
 		// would abort the process with no chance for the caller to
 		// recover; convert it to a cell error instead.
@@ -221,6 +271,7 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 				err = fmt.Errorf("harness: grid cell %s/%s/%s panicked: %v", c.bench.Name(), c.size, c.dev.ID(), r)
 			}
 		}()
+		send(cellEvent(EventCellStart, c))
 		var key string
 		if spec.Store != nil {
 			key = CellKey(c.bench.Name(), c.size, c.dev.Spec, spec.Options)
@@ -228,19 +279,21 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 				if m, derr := DecodeMeasurement(raw); derr == nil {
 					results[i] = m
 					hits.Add(1)
-					report(m, true)
+					ev := cellEvent(EventStoreHit, c)
+					ev.Elapsed = time.Since(cellStart)
+					ev.Measurement = m
+					send(ev)
 					return nil
 				}
 				// Undecodable under the current code: recompute and
 				// overwrite below.
 			}
-			misses.Add(1)
 		}
-		p, err := cache.prepare(c.bench, c.size, spec.Options)
+		p, err := cache.prepare(ctx, c.bench, c.size, spec.Options)
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
 		}
-		m, err := p.Measure(c.dev, spec.Options)
+		m, err := p.Measure(ctx, c.dev, spec.Options)
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
 		}
@@ -255,16 +308,23 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 			}); err != nil {
 				return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
 			}
+			// A miss only counts once the measurement is persisted:
+			// under cancellation, hits + misses must equal exactly the
+			// completed cells.
+			misses.Add(1)
 		}
 		results[i] = m
-		report(m, false)
+		ev := cellEvent(EventCellDone, c)
+		ev.Elapsed = time.Since(cellStart)
+		ev.Measurement = m
+		send(ev)
 		return nil
 	}
 
 	worker := func() {
 		defer wg.Done()
 		for {
-			if stopped.Load() {
+			if stopped.Load() || ctx.Err() != nil {
 				return
 			}
 			n := int(next.Add(1)) - 1
@@ -273,7 +333,11 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 			}
 			i := order[n]
 			if err := runCell(i); err != nil {
-				errs[i] = err
+				// A cell aborted by cancellation is not a cell failure:
+				// the cell is simply not part of the partial grid.
+				if ctx.Err() == nil {
+					errs[i] = err
+				}
 				stopped.Store(true)
 				return
 			}
@@ -296,22 +360,25 @@ func RunGrid(reg *dwarfs.Registry, spec GridSpec) (*Grid, error) {
 			return nil, err
 		}
 	}
-	return &Grid{
-		Measurements: results,
-		StoreHits:    int(hits.Load()),
-		StoreMisses:  int(misses.Load()),
-	}, nil
-}
-
-func verifiedTag(m *Measurement) string {
-	switch {
-	case m.Verified:
-		return "  [verified]"
-	case m.Functional:
-		return "  [functional]"
-	default:
-		return "  [simulated]"
+	g := &Grid{
+		StoreHits:   int(hits.Load()),
+		StoreMisses: int(misses.Load()),
+		Elapsed:     time.Since(started),
 	}
+	if ctx.Err() != nil {
+		// Partial grid: exactly the completed cells, grid order. Every
+		// one of them was persisted before its CellDone event fired, so
+		// the store and the returned grid agree.
+		g.Measurements = make([]*Measurement, 0, done.Load())
+		for _, m := range results {
+			if m != nil {
+				g.Measurements = append(g.Measurements, m)
+			}
+		}
+		return g, ctx.Err()
+	}
+	g.Measurements = results
+	return g, nil
 }
 
 // Cells returns the number of measured cells.
@@ -349,7 +416,29 @@ func (g *Grid) ByBenchmark(bench string) []*Measurement {
 	return out
 }
 
-// Merge absorbs another grid's measurements.
+// Merge absorbs another grid's measurements, keyed by cell coordinate
+// (benchmark × size × device): a cell present in both grids is replaced by
+// o's copy (last wins, in place, preserving g's order), new cells are
+// appended in o's order. Store hit/miss counters accumulate. Merging grids
+// measured under different options is the caller's responsibility — the
+// coordinate cannot distinguish them.
 func (g *Grid) Merge(o *Grid) {
-	g.Measurements = append(g.Measurements, o.Measurements...)
+	idx := make(map[string]int, len(g.Measurements))
+	for i, m := range g.Measurements {
+		idx[mergeKey(m)] = i
+	}
+	for _, m := range o.Measurements {
+		if i, ok := idx[mergeKey(m)]; ok {
+			g.Measurements[i] = m
+			continue
+		}
+		idx[mergeKey(m)] = len(g.Measurements)
+		g.Measurements = append(g.Measurements, m)
+	}
+	g.StoreHits += o.StoreHits
+	g.StoreMisses += o.StoreMisses
+}
+
+func mergeKey(m *Measurement) string {
+	return m.Benchmark + "\x00" + m.Size + "\x00" + m.Device.ID
 }

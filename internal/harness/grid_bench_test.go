@@ -9,6 +9,8 @@ package harness
 //	go test ./internal/harness -bench RunGrid -benchtime 3x
 
 import (
+	"context"
+
 	"runtime"
 	"testing"
 
@@ -33,7 +35,7 @@ func runGridBenchmark(b *testing.B, workers int) {
 	b.ReportMetric(float64(workers), "workers")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := RunGrid(reg, benchGridSpec(workers))
+		g, err := RunGrid(context.Background(), reg, benchGridSpec(workers))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +74,7 @@ func BenchmarkRunGridUncachedCells(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := Run(bench, "small", dev, opt); err != nil {
+			if _, err := Run(context.Background(), bench, "small", dev, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -97,11 +99,11 @@ func BenchmarkRunGridCachedCells(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			p, err := c.prepare(bench, "small", opt)
+			p, err := c.prepare(context.Background(), bench, "small", opt)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := p.Measure(dev, opt); err != nil {
+			if _, err := p.Measure(context.Background(), dev, opt); err != nil {
 				b.Fatal(err)
 			}
 		}

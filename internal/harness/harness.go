@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"opendwarfs/internal/dwarfs"
@@ -157,20 +158,25 @@ func prepDevice() *opencl.Device { return opencl.AllDevices()[0] }
 // seed configuration: instance construction, dataset generation and setup,
 // the simulate-only characterisation pass, the functional-budget decision
 // and (within budget) one functionally-executed, verified iteration.
-func Prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, error) {
+// Cancelling ctx aborts between phases with the context's error; an
+// aborted preparation leaves no partial state behind.
+func Prepare(ctx context.Context, bench dwarfs.Benchmark, size string, opt Options) (*Preparation, error) {
 	if opt.Samples <= 0 || opt.MinLoopNs <= 0 {
 		return nil, fmt.Errorf("harness: non-positive sampling options")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	inst, err := bench.New(size, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
 	dev := prepDevice()
-	ctx, err := opencl.NewContext(dev)
+	clctx, err := opencl.NewContext(dev)
 	if err != nil {
 		return nil, err
 	}
-	q, err := opencl.NewQueue(ctx, dev)
+	q, err := opencl.NewQueue(clctx, dev)
 	if err != nil {
 		return nil, err
 	}
@@ -182,16 +188,19 @@ func Prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, er
 	}
 
 	// Host setup + initial transfers.
-	if err := inst.Setup(ctx, q); err != nil {
+	if err := inst.Setup(clctx, q); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s setup: %w", bench.Name(), size, err)
 	}
-	if err := dwarfs.CheckFootprint(inst, ctx); err != nil {
+	if err := dwarfs.CheckFootprint(inst, clctx); err != nil {
 		return nil, err
 	}
 	p.FootprintBytes = inst.FootprintBytes()
 	q.DrainEvents()
 
 	// Characterisation pass: simulate-only, to cost the configuration.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	q.SetSimulateOnly(true)
 	if err := inst.Iterate(q); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s characterisation: %w", bench.Name(), size, err)
@@ -206,6 +215,9 @@ func Prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, er
 
 	// Functional pass within budget; its events replace the estimate
 	// (identical profiles, but the run is the one that gets verified).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.TotalOps <= opt.MaxFunctionalOps {
 		q.SetSimulateOnly(false)
 		q.ResetTimeline()
@@ -250,10 +262,15 @@ func Prepare(bench dwarfs.Benchmark, size string, opt Options) (*Preparation, er
 // paper's ≥2 s measurement-loop samples from the device's noise model. The
 // noise stream is seeded by (device, benchmark, size) alone, so a
 // Measurement is a pure function of its cell — independent of the order in
-// which grid cells run.
-func (p *Preparation) Measure(dev *opencl.Device, opt Options) (*Measurement, error) {
+// which grid cells run. Cancelling ctx aborts before the trace replay or
+// the sampling loop with the context's error; Measure never returns a
+// partial measurement.
+func (p *Preparation) Measure(ctx context.Context, dev *opencl.Device, opt Options) (*Measurement, error) {
 	if opt.Samples <= 0 || opt.MinLoopNs <= 0 {
 		return nil, fmt.Errorf("harness: non-positive sampling options")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if dev == nil {
 		return nil, fmt.Errorf("harness: %s/%s measured on a nil device", p.Benchmark, p.Size)
@@ -292,6 +309,9 @@ func (p *Preparation) Measure(dev *opencl.Device, opt Options) (*Measurement, er
 	}
 
 	// ≥2 s measurement loop (§4.3), in simulated time.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	iters := int(opt.MinLoopNs/kernelNs) + 1
 	if iters > opt.MaxLoopIters {
 		iters = opt.MaxLoopIters
@@ -321,12 +341,12 @@ func (p *Preparation) Measure(dev *opencl.Device, opt Options) (*Measurement, er
 
 // Run measures one benchmark × size × device group: a Prepare followed by
 // one Measure, with no caching. Grid runs share preparations instead.
-func Run(bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (*Measurement, error) {
-	p, err := Prepare(bench, size, opt)
+func Run(ctx context.Context, bench dwarfs.Benchmark, size string, dev *opencl.Device, opt Options) (*Measurement, error) {
+	p, err := Prepare(ctx, bench, size, opt)
 	if err != nil {
 		return nil, err
 	}
-	return p.Measure(dev, opt)
+	return p.Measure(ctx, dev, opt)
 }
 
 // Records converts a measurement into LibSciBench-style sample records for

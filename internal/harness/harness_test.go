@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"reflect"
 	"strings"
 	"sync"
@@ -32,7 +34,7 @@ func TestRunFunctionalVerified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Run(b, "tiny", device(t, "i7-6700k"), quickOpts())
+	m, err := Run(context.Background(), b, "tiny", device(t, "i7-6700k"), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestRunSimulateOnlyAboveBudget(t *testing.T) {
 	reg := suite.New()
 	b, _ := reg.Get("nqueens")
 	opt := quickOpts()
-	m, err := Run(b, "tiny", device(t, "gtx1080"), opt) // n=18: huge op count
+	m, err := Run(context.Background(), b, "tiny", device(t, "gtx1080"), opt) // n=18: huge op count
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestRunEveryBenchmarkTinyFunctional(t *testing.T) {
 		if b.Name() == "nqueens" {
 			continue
 		}
-		m, err := Run(b, "tiny", dev, quickOpts())
+		m, err := Run(context.Background(), b, "tiny", dev, quickOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
@@ -94,10 +96,10 @@ func TestRunEveryBenchmarkTinyFunctional(t *testing.T) {
 func TestRunRejectsBadOptions(t *testing.T) {
 	reg := suite.New()
 	b, _ := reg.Get("crc")
-	if _, err := Run(b, "tiny", device(t, "i7-6700k"), Options{}); err == nil {
+	if _, err := Run(context.Background(), b, "tiny", device(t, "i7-6700k"), Options{}); err == nil {
 		t.Fatal("zero options accepted")
 	}
-	if _, err := Run(b, "gigantic", device(t, "i7-6700k"), quickOpts()); err == nil {
+	if _, err := Run(context.Background(), b, "gigantic", device(t, "i7-6700k"), quickOpts()); err == nil {
 		t.Fatal("bad size accepted")
 	}
 }
@@ -105,7 +107,7 @@ func TestRunRejectsBadOptions(t *testing.T) {
 func TestSamplesVaryButStayPositive(t *testing.T) {
 	reg := suite.New()
 	b, _ := reg.Get("csr")
-	m, err := Run(b, "small", device(t, "k20m"), quickOpts())
+	m, err := Run(context.Background(), b, "small", device(t, "k20m"), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +128,11 @@ func TestSamplesVaryButStayPositive(t *testing.T) {
 func TestMeasurementDeterministic(t *testing.T) {
 	reg := suite.New()
 	b, _ := reg.Get("fft")
-	a, err := Run(b, "tiny", device(t, "titanx"), quickOpts())
+	a, err := Run(context.Background(), b, "tiny", device(t, "titanx"), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Run(b, "tiny", device(t, "titanx"), quickOpts())
+	c, err := Run(context.Background(), b, "tiny", device(t, "titanx"), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestMeasurementDeterministic(t *testing.T) {
 func TestRecords(t *testing.T) {
 	reg := suite.New()
 	b, _ := reg.Get("crc")
-	m, err := Run(b, "tiny", device(t, "i7-6700k"), quickOpts())
+	m, err := Run(context.Background(), b, "tiny", device(t, "i7-6700k"), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestRecords(t *testing.T) {
 func TestRunGridSelection(t *testing.T) {
 	reg := suite.New()
 	var progress strings.Builder
-	g, err := RunGrid(reg, GridSpec{
+	g, err := RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"csr", "crc"},
 		Sizes:      []string{"tiny", "small"},
 		Devices:    []string{"i7-6700k", "gtx1080"},
@@ -197,7 +199,7 @@ func TestRunGridSizeFilterUnsupportedBySelection(t *testing.T) {
 	// benchmarks do support the size, it narrows their rows instead; see
 	// TestUnknownSizeAndDeviceFailLoudly.)
 	reg := suite.New()
-	_, err := RunGrid(reg, GridSpec{
+	_, err := RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"nqueens"},
 		Sizes:      []string{"large"},
 		Devices:    []string{"i7-6700k"},
@@ -213,10 +215,10 @@ func TestRunGridSizeFilterUnsupportedBySelection(t *testing.T) {
 
 func TestRunGridUnknownNames(t *testing.T) {
 	reg := suite.New()
-	if _, err := RunGrid(reg, GridSpec{Benchmarks: []string{"zzz"}, Options: quickOpts()}); err == nil {
+	if _, err := RunGrid(context.Background(), reg, GridSpec{Benchmarks: []string{"zzz"}, Options: quickOpts()}); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if _, err := RunGrid(reg, GridSpec{Devices: []string{"zzz"}, Options: quickOpts()}); err == nil {
+	if _, err := RunGrid(context.Background(), reg, GridSpec{Devices: []string{"zzz"}, Options: quickOpts()}); err == nil {
 		t.Fatal("unknown device accepted")
 	}
 }
@@ -227,7 +229,7 @@ func TestPrepareMeasureMatchesRun(t *testing.T) {
 	reg := suite.New()
 	b, _ := reg.Get("kmeans")
 	opt := quickOpts()
-	p, err := Prepare(b, "tiny", opt)
+	p, err := Prepare(context.Background(), b, "tiny", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,11 +237,11 @@ func TestPrepareMeasureMatchesRun(t *testing.T) {
 		t.Fatalf("preparation incomplete: %+v", p)
 	}
 	for _, id := range []string{"i7-6700k", "gtx1080"} {
-		got, err := p.Measure(device(t, id), opt)
+		got, err := p.Measure(context.Background(), device(t, id), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := Run(b, "tiny", device(t, id), opt)
+		want, err := Run(context.Background(), b, "tiny", device(t, id), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -262,7 +264,7 @@ func TestPrepCacheSharesOnePreparation(t *testing.T) {
 	for i := 0; i < callers; i++ {
 		go func(i int) {
 			defer wg.Done()
-			p, err := c.prepare(b, "tiny", quickOpts())
+			p, err := c.prepare(context.Background(), b, "tiny", quickOpts())
 			if err != nil {
 				t.Error(err)
 				return
@@ -297,11 +299,11 @@ func TestRunGridParallelDeterminism(t *testing.T) {
 	// A parallel grid must be cell-for-cell identical to a sequential
 	// one: noise is seeded per cell, never by run order.
 	reg := suite.New()
-	seq, err := RunGrid(reg, gridSpecForWorkers(1))
+	seq, err := RunGrid(context.Background(), reg, gridSpecForWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunGrid(reg, gridSpecForWorkers(8))
+	par, err := RunGrid(context.Background(), reg, gridSpecForWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +338,7 @@ func TestRunGridWorkersRace(t *testing.T) {
 	var progress strings.Builder
 	spec := gridSpecForWorkers(8)
 	spec.Progress = &progress
-	g, err := RunGrid(reg, spec)
+	g, err := RunGrid(context.Background(), reg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +355,7 @@ func TestRunGridParallelErrorPropagates(t *testing.T) {
 	reg := suite.New()
 	spec := gridSpecForWorkers(8)
 	spec.Options.Samples = 0
-	if _, err := RunGrid(reg, spec); err == nil {
+	if _, err := RunGrid(context.Background(), reg, spec); err == nil {
 		t.Fatal("invalid options accepted by parallel grid")
 	}
 }
@@ -362,7 +364,7 @@ func TestRunGridSharesPreparationAcrossDevices(t *testing.T) {
 	// Every device of one row must see the same kernel profile objects —
 	// proof the row was prepared once, not 15 times.
 	reg := suite.New()
-	g, err := RunGrid(reg, GridSpec{
+	g, err := RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"srad"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
@@ -406,7 +408,7 @@ func TestRunGridConvertsWorkerPanicsToErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		_, err := RunGrid(reg, GridSpec{
+		_, err := RunGrid(context.Background(), reg, GridSpec{
 			Devices: []string{"i7-6700k", "gtx1080"},
 			Options: quickOpts(),
 			Workers: workers,
@@ -445,7 +447,7 @@ func TestDispatchOrderCoversAllCells(t *testing.T) {
 
 func TestGridCellsAndAllocFreeLookups(t *testing.T) {
 	reg := suite.New()
-	g, err := RunGrid(reg, GridSpec{
+	g, err := RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"crc"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"i7-6700k", "gtx1080"},
@@ -475,11 +477,11 @@ func TestGridCellsAndAllocFreeLookups(t *testing.T) {
 func TestGridMerge(t *testing.T) {
 	reg := suite.New()
 	opts := quickOpts()
-	a, err := RunGrid(reg, GridSpec{Benchmarks: []string{"crc"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"}, Options: opts})
+	a, err := RunGrid(context.Background(), reg, GridSpec{Benchmarks: []string{"crc"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"}, Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunGrid(reg, GridSpec{Benchmarks: []string{"csr"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"}, Options: opts})
+	b, err := RunGrid(context.Background(), reg, GridSpec{Benchmarks: []string{"csr"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"}, Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}

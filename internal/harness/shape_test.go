@@ -6,6 +6,8 @@ package harness
 // and where the crossovers fall.
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -28,7 +30,7 @@ func shapeGrid(t *testing.T) *Grid {
 		opt.Samples = 8
 		opt.MaxFunctionalOps = 0 // simulate-only: shapes come from the model
 		opt.Verify = false
-		fullGrid, gridErr = RunGrid(suite.New(), GridSpec{Options: opt})
+		fullGrid, gridErr = RunGrid(context.Background(), suite.New(), GridSpec{Options: opt})
 	})
 	if gridErr != nil {
 		t.Fatal(gridErr)

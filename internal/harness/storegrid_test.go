@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"bytes"
 	"reflect"
 	"strings"
@@ -50,7 +52,7 @@ func TestStoreIncrementalResweep(t *testing.T) {
 	}
 	reg := suite.New()
 
-	cold, err := RunGrid(reg, tinyStoreSpec(st))
+	cold, err := RunGrid(context.Background(), reg, tinyStoreSpec(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestStoreIncrementalResweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunGrid(reg, tinyStoreSpec(st2))
+	warm, err := RunGrid(context.Background(), reg, tinyStoreSpec(st2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,12 +161,12 @@ func TestStoreInvalidationEndToEnd(t *testing.T) {
 	}
 	reg := suite.New()
 	spec := tinyStoreSpec(st)
-	if _, err := RunGrid(reg, spec); err != nil {
+	if _, err := RunGrid(context.Background(), reg, spec); err != nil {
 		t.Fatal(err)
 	}
 
 	spec.Options.Seed++
-	g, err := RunGrid(reg, spec)
+	g, err := RunGrid(context.Background(), reg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestStoreConcurrentWriters(t *testing.T) {
 		wg.Add(1)
 		go func(spec GridSpec) {
 			defer wg.Done()
-			if _, err := RunGrid(reg, spec); err != nil {
+			if _, err := RunGrid(context.Background(), reg, spec); err != nil {
 				errCh <- err
 			}
 		}(spec)
@@ -226,7 +228,7 @@ func TestStoreConcurrentWriters(t *testing.T) {
 		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
 		Options:    opt, Workers: 4, Store: st,
 	}
-	g, err := RunGrid(reg, union)
+	g, err := RunGrid(context.Background(), reg, union)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +250,7 @@ func TestUnknownSizeAndDeviceFailLoudly(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Samples = 4
 
-	_, err := RunGrid(reg, GridSpec{
+	_, err := RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"crc"},
 		Sizes:      []string{"tinny"},
 		Devices:    []string{"i7-6700k"},
@@ -263,7 +265,7 @@ func TestUnknownSizeAndDeviceFailLoudly(t *testing.T) {
 		}
 	}
 
-	_, err = RunGrid(reg, GridSpec{
+	_, err = RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"crc"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"gtx1081"},
@@ -280,7 +282,7 @@ func TestUnknownSizeAndDeviceFailLoudly(t *testing.T) {
 
 	// A size valid for some selected benchmarks but not others still just
 	// narrows the rows (nqueens is single-size).
-	g, err := RunGrid(reg, GridSpec{
+	g, err := RunGrid(context.Background(), reg, GridSpec{
 		Benchmarks: []string{"crc", "nqueens"},
 		Sizes:      []string{"large"},
 		Devices:    []string{"i7-6700k"},

@@ -1,6 +1,8 @@
 package predict
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -14,7 +16,7 @@ import (
 // and device.
 func tinyGrid(t *testing.T) *Dataset {
 	t.Helper()
-	grid, err := harness.RunGrid(suite.New(), harness.GridSpec{
+	grid, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 		Sizes:   []string{"tiny"},
 		Options: harness.DefaultOptions(),
 	})

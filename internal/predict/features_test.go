@@ -1,6 +1,8 @@
 package predict
 
 import (
+	"context"
+
 	"testing"
 
 	"opendwarfs/internal/harness"
@@ -26,7 +28,7 @@ func TestAIWCFeaturesDeviceIndependent(t *testing.T) {
 		var ref []float64
 		var refDev string
 		for _, dev := range opencl.AllDevices() {
-			m, err := harness.Run(b, "tiny", dev, harness.DefaultOptions())
+			m, err := harness.Run(context.Background(), b, "tiny", dev, harness.DefaultOptions())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -53,7 +55,7 @@ func TestPreparationProfilesExposed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := harness.Prepare(b, "tiny", harness.DefaultOptions())
+	p, err := harness.Prepare(context.Background(), b, "tiny", harness.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -14,7 +16,7 @@ func smallGrid(t *testing.T) *harness.Grid {
 	opt.Samples = 6
 	opt.MaxFunctionalOps = 0
 	opt.Verify = false
-	g, err := harness.RunGrid(suite.New(), harness.GridSpec{
+	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 		Benchmarks: []string{"crc", "srad"},
 		Sizes:      []string{"tiny", "large"},
 		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -14,7 +16,7 @@ func profiledGrid(t *testing.T) *harness.Grid {
 	opt.Samples = 5
 	opt.MaxFunctionalOps = 0
 	opt.Verify = false
-	g, err := harness.RunGrid(suite.New(), harness.GridSpec{
+	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
 		Benchmarks: []string{"srad", "crc", "nqueens"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"i7-6700k", "gtx1080", "knl-7210"},

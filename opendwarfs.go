@@ -7,14 +7,21 @@
 //
 // Quick start:
 //
-//	res, err := opendwarfs.Run("kmeans", "tiny", "i7-6700k", opendwarfs.DefaultOptions())
+//	sess, err := opendwarfs.NewSession()
+//	res, err := sess.Run(ctx, "kmeans", "tiny", "i7-6700k")
 //	fmt.Println(res.Kernel.Median)
+//
+// Sessions are context-aware: cancelling the context aborts cleanly, and a
+// cancelled grid run returns a valid partial Grid whose completed cells are
+// already persisted when a store is attached (NewSession(WithStore(dir))).
+// Session.Stream exposes the typed per-cell event stream that grid
+// execution is built on.
 //
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package opendwarfs
 
 import (
-	"fmt"
+	"context"
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/harness"
@@ -33,6 +40,11 @@ type Result = harness.Measurement
 type Grid = harness.Grid
 
 // GridSpec re-exports the grid selector.
+//
+// Deprecated: build a Session with NewSession(WithWorkers(...),
+// WithStore(...), ...) and pass a Selection to Session.RunGrid or
+// Session.Stream instead. GridSpec remains for one release to keep the old
+// RunGrid wrapper compiling.
 type GridSpec = harness.GridSpec
 
 // Device re-exports the OpenCL-style device handle.
@@ -62,27 +74,25 @@ func LookupDevice(id string) (*Device, error) { return opencl.LookupDevice(id) }
 func Sizes() []string { return dwarfs.Sizes() }
 
 // Run measures one benchmark at one size on one device.
+//
+// Deprecated: use NewSession and Session.Run, which honour cancellation
+// and can serve from / persist to a result store. This wrapper runs with
+// context.Background().
 func Run(bench, size, deviceID string, opt Options) (*Result, error) {
-	reg := suite.New()
-	b, err := reg.Get(bench)
+	s, err := NewSession(WithOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	dev, err := opencl.LookupDevice(deviceID)
-	if err != nil {
-		return nil, err
-	}
-	if !dwarfs.SupportsSize(b, size) {
-		return nil, fmt.Errorf("opendwarfs: %s does not support size %q (has %v)", bench, size, b.Sizes())
-	}
-	return harness.Run(b, size, dev, opt)
+	return s.Run(context.Background(), bench, size, deviceID)
 }
 
 // RunGrid measures a slice of the benchmark × size × device space.
-// spec.Workers controls how many cells are measured concurrently (0 =
-// GOMAXPROCS); each benchmark × size row is prepared once — dataset,
-// characterisation, verification — and shared across its devices, and the
-// resulting grid is deterministic and identical at every worker count.
+//
+// Deprecated: use NewSession and Session.RunGrid (or Session.Stream for
+// typed per-cell events), which honour cancellation and return a valid
+// partial grid when interrupted. This wrapper runs with
+// context.Background(); its spec.Progress writer keeps working but is
+// itself deprecated in favour of the event stream.
 func RunGrid(spec GridSpec) (*Grid, error) {
-	return harness.RunGrid(suite.New(), spec)
+	return harness.RunGrid(context.Background(), suite.New(), spec)
 }

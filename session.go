@@ -1,0 +1,252 @@
+package opendwarfs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/opencl"
+	"opendwarfs/internal/store"
+	"opendwarfs/internal/suite"
+)
+
+// Selection names the benchmark × size × device slice a Session operation
+// covers. Empty axes mean "all": the whole suite, every supported size,
+// all 15 catalogue devices.
+type Selection struct {
+	Benchmarks []string
+	Sizes      []string
+	Devices    []string
+}
+
+// Event re-exports the typed grid-execution event; see Session.Stream.
+type Event = harness.Event
+
+// EventKind re-exports the event discriminator.
+type EventKind = harness.EventKind
+
+// Event kinds emitted by Session.Stream (and Session.RunGrid internally).
+const (
+	EventCellStart = harness.EventCellStart
+	EventCellDone  = harness.EventCellDone
+	EventStoreHit  = harness.EventStoreHit
+	EventGridDone  = harness.EventGridDone
+)
+
+// Session is the context-aware entry point to the suite: a configured
+// measurement environment (methodology options, worker pool, optional
+// persistent store) whose Run/RunGrid/Stream methods all honour
+// cancellation. Run/RunGrid/Stream are safe for concurrent use; construct
+// a Session with NewSession and, when a store is attached, Close it after
+// in-flight runs have finished (cancel their contexts and wait first —
+// Close does not wait for them).
+type Session struct {
+	opt     Options
+	workers int
+
+	mu     sync.Mutex // guards st/ownsSt against a concurrent Close
+	st     *store.Store
+	ownsSt bool
+}
+
+// Option configures a Session; see the With* constructors.
+type Option func(*Session) error
+
+// WithStore attaches the persistent result store at dir (created if
+// missing): cells already present are decoded instead of re-measured, new
+// cells are persisted as they complete. The store is opened by NewSession
+// and closed by Session.Close.
+func WithStore(dir string) Option {
+	return func(s *Session) error {
+		if s.st != nil {
+			return fmt.Errorf("opendwarfs: store already configured")
+		}
+		st, err := store.Open(dir)
+		if err != nil {
+			return err
+		}
+		s.st, s.ownsSt = st, true
+		return nil
+	}
+}
+
+// WithWorkers sets how many cells are measured concurrently. 0 (the
+// default) uses one worker per CPU; 1 runs grids sequentially. Results are
+// identical at every worker count.
+func WithWorkers(n int) Option {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("opendwarfs: negative worker count %d", n)
+		}
+		s.workers = n
+		return nil
+	}
+}
+
+// WithSeed sets the dataset-generation seed (default 1). The seed is part
+// of every cell fingerprint: changing it invalidates stored cells.
+func WithSeed(seed int64) Option {
+	return func(s *Session) error { s.opt.Seed = seed; return nil }
+}
+
+// WithSamples sets the samples collected per benchmark × size × device
+// group; the paper uses 50 (§4.3).
+func WithSamples(n int) Option {
+	return func(s *Session) error {
+		if n <= 0 {
+			return fmt.Errorf("opendwarfs: non-positive sample count %d", n)
+		}
+		s.opt.Samples = n
+		return nil
+	}
+}
+
+// WithMinLoopNs sets the minimum simulated duration of one measurement
+// loop; the paper uses two seconds (2e9).
+func WithMinLoopNs(ns float64) Option {
+	return func(s *Session) error {
+		if ns <= 0 {
+			return fmt.Errorf("opendwarfs: non-positive loop duration %g", ns)
+		}
+		s.opt.MinLoopNs = ns
+		return nil
+	}
+}
+
+// WithFunctionalBudget sets the operation budget above which functional
+// execution is skipped in favour of the timing model. 0 disables
+// functional execution (and with it, verification).
+func WithFunctionalBudget(ops float64) Option {
+	return func(s *Session) error {
+		if ops < 0 {
+			return fmt.Errorf("opendwarfs: negative functional budget %g", ops)
+		}
+		s.opt.MaxFunctionalOps = ops
+		if ops == 0 {
+			s.opt.Verify = false
+		}
+		return nil
+	}
+}
+
+// WithVerify toggles serial-reference verification after functional runs.
+func WithVerify(v bool) Option {
+	return func(s *Session) error { s.opt.Verify = v; return nil }
+}
+
+// WithOptions replaces the session's measurement options wholesale — the
+// migration path for code that already builds an Options value. Later
+// With* options still apply on top.
+func WithOptions(opt Options) Option {
+	return func(s *Session) error {
+		if opt.Samples <= 0 || opt.MinLoopNs <= 0 {
+			return fmt.Errorf("opendwarfs: non-positive sampling options")
+		}
+		s.opt = opt
+		return nil
+	}
+}
+
+// NewSession builds a measurement session from the paper's methodology
+// defaults plus the given options.
+func NewSession(opts ...Option) (*Session, error) {
+	s := &Session{opt: DefaultOptions()}
+	for _, o := range opts {
+		if err := o(s); err != nil {
+			if s.ownsSt {
+				s.st.Close()
+			}
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close releases the session's store, if NewSession opened one. Safe to
+// call on store-less sessions and more than once; must not overlap an
+// in-flight Run/RunGrid/Stream (cancel and drain those first).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	st, owned := s.st, s.ownsSt
+	s.st = nil
+	s.mu.Unlock()
+	if st == nil || !owned {
+		return nil
+	}
+	return st.Close()
+}
+
+// Options returns a copy of the session's effective measurement options.
+func (s *Session) Options() Options { return s.opt }
+
+// spec assembles the harness grid spec for one selection.
+func (s *Session) spec(sel Selection) harness.GridSpec {
+	s.mu.Lock()
+	st := s.st
+	s.mu.Unlock()
+	return harness.GridSpec{
+		Benchmarks: sel.Benchmarks,
+		Sizes:      sel.Sizes,
+		Devices:    sel.Devices,
+		Options:    s.opt,
+		Workers:    s.workers,
+		Store:      st,
+	}
+}
+
+// Run measures one benchmark at one size on one device. With a store
+// attached the cell is served from disk when present and persisted when
+// not. Cancelling ctx aborts between measurement phases.
+func (s *Session) Run(ctx context.Context, bench, size, deviceID string) (*Result, error) {
+	reg := suite.New()
+	b, err := reg.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := opencl.LookupDevice(deviceID)
+	if err != nil {
+		return nil, err
+	}
+	if !dwarfs.SupportsSize(b, size) {
+		return nil, fmt.Errorf("opendwarfs: %s does not support size %q (has %v)", bench, size, b.Sizes())
+	}
+	s.mu.Lock()
+	hasStore := s.st != nil
+	s.mu.Unlock()
+	if hasStore {
+		// Route the single cell through the grid so the store read/write
+		// path is shared with sweeps.
+		g, err := harness.RunGrid(ctx, reg, s.spec(Selection{
+			Benchmarks: []string{bench}, Sizes: []string{size}, Devices: []string{deviceID},
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return g.Measurements[0], nil
+	}
+	return harness.Run(ctx, b, size, dev, s.opt)
+}
+
+// RunGrid measures the selected benchmark × size × device slice and blocks
+// until it completes. When ctx is cancelled mid-grid it returns a valid
+// partial Grid — exactly the completed cells, in grid order, all persisted
+// when a store is attached — together with ctx's error; re-running the
+// same selection afterwards store-hits precisely those cells.
+func (s *Session) RunGrid(ctx context.Context, sel Selection) (*Grid, error) {
+	return harness.RunGrid(ctx, suite.New(), s.spec(sel))
+}
+
+// Stream starts the selected grid and returns its typed event channel:
+// EventCellStart when a cell is claimed, EventCellDone / EventStoreHit as
+// cells complete (with the measurement, timing and running hit/miss
+// counts), and a terminal EventGridDone carrying the resulting Grid —
+// partial under cancellation — and error, after which the channel closes.
+// Delivery is unbuffered, so observed events pace the run and cancelling
+// after the k-th event stops the grid near cell k. Drain the channel
+// until it closes (cancelling ctx makes that prompt) to observe the
+// resulting grid.
+func (s *Session) Stream(ctx context.Context, sel Selection) (<-chan Event, error) {
+	return harness.Stream(ctx, suite.New(), s.spec(sel))
+}

@@ -1,0 +1,157 @@
+package opendwarfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNewSessionOptionValidation(t *testing.T) {
+	for name, opts := range map[string][]Option{
+		"zero samples":    {WithSamples(0)},
+		"negative loop":   {WithMinLoopNs(-1)},
+		"negative budget": {WithFunctionalBudget(-1)},
+		"negative worker": {WithWorkers(-1)},
+		"bad options":     {WithOptions(Options{})},
+	} {
+		if _, err := NewSession(opts...); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	sess, err := NewSession(WithSamples(8), WithSeed(7), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if got := sess.Options(); got.Samples != 8 || got.Seed != 7 {
+		t.Fatalf("options not applied: %+v", got)
+	}
+}
+
+func TestSessionRun(t *testing.T) {
+	sess, err := NewSession(WithSamples(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	res, err := sess.Run(ctx, "csr", "tiny", "i7-6700k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.Kernel.Median <= 0 {
+		t.Fatalf("tiny csr should verify with timing: %+v", res)
+	}
+
+	// The session result matches the deprecated facade path exactly.
+	old, err := Run("csr", "tiny", "i7-6700k", sess.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Kernel.Median != res.Kernel.Median {
+		t.Fatal("Session.Run and deprecated Run disagree")
+	}
+
+	if _, err := sess.Run(ctx, "nope", "tiny", "i7-6700k"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := sess.Run(ctx, "csr", "tiny", "nope"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := sess.Run(ctx, "nqueens", "large", "i7-6700k"); err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+}
+
+func TestSessionRunWithStoreIsIncremental(t *testing.T) {
+	dir := t.TempDir()
+	sess, err := NewSession(WithSamples(6), WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, err := sess.Run(ctx, "crc", "tiny", "i7-6700k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second session over the same directory serves the cell from disk.
+	sess2, err := NewSession(WithSamples(6), WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	g, err := sess2.RunGrid(ctx, Selection{
+		Benchmarks: []string{"crc"}, Sizes: []string{"tiny"}, Devices: []string{"i7-6700k"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.StoreHits != 1 || g.StoreMisses != 0 {
+		t.Fatalf("re-run of a stored cell: %d hits / %d misses", g.StoreHits, g.StoreMisses)
+	}
+	if g.Measurements[0].Kernel.Median != a.Kernel.Median {
+		t.Fatal("stored cell differs from measured one")
+	}
+}
+
+func TestSessionStreamAndCancellation(t *testing.T) {
+	sess, err := NewSession(
+		WithSamples(6),
+		WithFunctionalBudget(0),
+		WithWorkers(2),
+		WithStore(t.TempDir()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	sel := Selection{
+		Benchmarks: []string{"crc", "fft", "nw"},
+		Sizes:      []string{"tiny", "small"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	events, err := sess.Stream(ctx, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	var terminal Event
+	for ev := range events {
+		switch ev.Kind {
+		case EventCellDone, EventStoreHit:
+			completed++
+			if completed == 2 {
+				cancel()
+			}
+		case EventGridDone:
+			terminal = ev
+		}
+	}
+	cancel()
+	if !errors.Is(terminal.Err, context.Canceled) {
+		t.Fatalf("terminal error %v, want context.Canceled", terminal.Err)
+	}
+	if terminal.Grid == nil || terminal.Grid.Cells() < 2 || terminal.Grid.Cells() >= 12 {
+		t.Fatalf("partial grid %v", terminal.Grid)
+	}
+
+	// The partial run persisted its cells: a full re-run hits exactly them.
+	g, err := sess.RunGrid(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 12 {
+		t.Fatalf("%d cells, want 12", g.Cells())
+	}
+	if g.StoreHits != terminal.Grid.Cells() {
+		t.Fatalf("resumed run hit %d cells, want the %d completed before cancellation",
+			g.StoreHits, terminal.Grid.Cells())
+	}
+}
