@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/sched"
+	"opendwarfs/internal/suite"
+)
+
+// TestUnknownPolicyListsSorted is the regression test for the planCells
+// error convention: a typo'd policy must fail naming every valid policy in
+// sorted order, both for -policy and inside -policies lists.
+func TestUnknownPolicyListsSorted(t *testing.T) {
+	_, err := sched.LookupPolicy("htef")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	last := -1
+	for _, name := range sched.Policies() {
+		i := strings.Index(err.Error(), name)
+		if i < 0 {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+		if i < last {
+			t.Fatalf("error %q lists policies out of order", err)
+		}
+		last = i
+	}
+	if _, err := comparisonPolicies("heft,nope", "heft"); err == nil {
+		t.Fatal("unknown policy in -policies accepted")
+	}
+}
+
+func TestComparisonPoliciesIncludesPrimary(t *testing.T) {
+	pols, err := comparisonPolicies("roundrobin", "heft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range pols {
+		names[p.Name()] = true
+	}
+	if !names["roundrobin"] || !names["heft"] {
+		t.Fatalf("comparison %v missing a requested policy", names)
+	}
+
+	all, err := comparisonPolicies("all", "heft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(sched.Policies()) {
+		t.Fatalf("all resolves to %d policies, want %d", len(all), len(sched.Policies()))
+	}
+}
+
+// TestBuildWorkloadMalformed: malformed inline tasks and JSON specs fail
+// with the valid vocabulary, never silently.
+func TestBuildWorkloadMalformed(t *testing.T) {
+	reg := suite.New()
+
+	if _, err := buildWorkload(reg, "", "fft", "large", 1); err == nil {
+		t.Fatal("taskless inline entry accepted")
+	}
+	if _, err := buildWorkload(reg, "", "fft/tiny:zero", "large", 1); err == nil {
+		t.Fatal("bad count accepted")
+	}
+	_, err := buildWorkload(reg, "", "nope/tiny", "large", 1)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	for _, want := range []string{"nope", "crc", "srad"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("benchmark error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := buildWorkload(reg, "", "nqueens/large", "large", 1); err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+	if _, err := buildWorkload(reg, "", "", "huge", 1); err == nil {
+		t.Fatal("unknown default size accepted")
+	}
+
+	// JSON spec: unknown fields are malformed, not ignored.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tasks":[{"benchmark":"fft","size":"tiny","dead_line_ms":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildWorkload(reg, bad, "", "large", 1); err == nil {
+		t.Fatal("unknown spec field accepted")
+	}
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"tasks":[{"benchmark":"fft","size":"tiny","count":2,"deadline_ms":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := buildWorkload(reg, good, "", "large", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != 2 || w.Tasks[0].DeadlineNs != 5e6 {
+		t.Fatalf("spec decoded wrong: %+v", w.Tasks)
+	}
+}
+
+// TestDefaultWorkload: every suite benchmark appears, falling back to its
+// largest size when -size is unsupported (nqueens is tiny-only).
+func TestDefaultWorkload(t *testing.T) {
+	reg := suite.New()
+	w, err := buildWorkload(reg, "", "", "large", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != 2*len(reg.All()) {
+		t.Fatalf("%d tasks, want %d", len(w.Tasks), 2*len(reg.All()))
+	}
+	for _, task := range w.Tasks {
+		if task.Benchmark == "nqueens" && task.Size != "tiny" {
+			t.Fatalf("nqueens scheduled at %s, want its only size tiny", task.Size)
+		}
+	}
+}

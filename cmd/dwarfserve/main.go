@@ -9,6 +9,7 @@
 //	GET    /v1/cells?bench=fft&size=tiny&device=gtx1080   filtered cell summaries
 //	GET    /v1/grid                               every cell + the grid axes
 //	GET    /v1/predict?bench=fft&size=tiny&device=gtx1080  runtime prediction
+//	POST   /v1/schedule                           prediction-guided workload placement
 //
 // Beyond queries, dwarfserve executes sweeps asynchronously: a job measures
 // a benchmark × size × device selection into the store (cells already
@@ -54,6 +55,7 @@ import (
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/predict"
+	"opendwarfs/internal/sched"
 	"opendwarfs/internal/sim"
 	"opendwarfs/internal/store"
 )
@@ -147,6 +149,13 @@ type server struct {
 	forest     *predict.Forest
 	trainErr   error
 
+	// The scheduler's cost provider follows the same generation
+	// discipline, built lazily on first /v1/schedule; see schedule.go.
+	schedMu    sync.Mutex
+	schedGen   int
+	schedCosts *sched.Costs
+	schedErr   error
+
 	// Async sweep jobs; see jobs.go.
 	jobMu      sync.Mutex
 	jobs       map[string]*job
@@ -165,6 +174,7 @@ func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server 
 		st:         st,
 		cfg:        cfg,
 		trainedGen: -1,
+		schedGen:   -1,
 		jobs:       make(map[string]*job),
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
@@ -174,6 +184,7 @@ func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server 
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)

@@ -383,6 +383,117 @@ func TestShutdownCancelsJobs(t *testing.T) {
 	postJob(t, srv, `{"benchmarks":["crc"],"sizes":["tiny"],"devices":["i7-6700k"]}`, http.StatusServiceUnavailable)
 }
 
+// postSchedule POSTs a /v1/schedule body and decodes the response.
+func postSchedule(t *testing.T, srv *server, body string, wantCode int) map[string]any {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/schedule", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("POST /v1/schedule: status %d (body %s), want %d", rec.Code, rec.Body, wantCode)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("POST /v1/schedule: invalid JSON %q: %v", rec.Body, err)
+	}
+	return resp
+}
+
+// TestScheduleEndpoint: a workload over a fleet wider than the store's
+// measurements schedules with predicted slots flagged; after a job measures
+// the missing device the same request resolves fully measured — the
+// predict-only versus after-measurement round trip of the CI store-smoke.
+func TestScheduleEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t) // crc,fft × tiny × i7-6700k,gtx1080 measured
+	reqBody := `{"tasks":[{"benchmark":"fft","size":"tiny","count":2},{"benchmark":"crc","size":"tiny"}],
+		"devices":["i7-6700k","gtx1080","k20m"],"policy":"heft"}`
+
+	body := postSchedule(t, srv, reqBody, http.StatusOK)
+	if body["policy"] != "heft" || int(body["tasks"].(float64)) != 3 {
+		t.Fatalf("schedule header wrong: %v", body)
+	}
+	if body["makespan_ms"].(float64) <= 0 {
+		t.Fatalf("non-positive makespan: %v", body["makespan_ms"])
+	}
+	if len(body["slots"].([]any)) != 3 {
+		t.Fatalf("%d slots, want 3", len(body["slots"].([]any)))
+	}
+	measuredBefore := int(body["measured"].(float64))
+	if int(body["predicted"].(float64))+measuredBefore != 3 {
+		t.Fatalf("source counts do not add up: %v", body)
+	}
+
+	// Measure k20m, then every (task, device) cell of the fleet is stored:
+	// the same schedule request must resolve with zero predictions.
+	id := postJob(t, srv, `{"benchmarks":["crc","fft"],"sizes":["tiny"],"devices":["k20m"],"samples":6}`, http.StatusAccepted)
+	waitJob(t, srv, id)
+	body = postSchedule(t, srv, reqBody, http.StatusOK)
+	if int(body["predicted"].(float64)) != 0 || int(body["measured"].(float64)) != 3 {
+		t.Fatalf("after measurement: %v predicted / %v measured, want 0/3", body["predicted"], body["measured"])
+	}
+	if int(body["training_cells"].(float64)) != 6 {
+		t.Fatalf("training_cells %v, want 6 (cost model not regenerated)", body["training_cells"])
+	}
+}
+
+// TestScheduleEnergyBudget: the energy policy honours an explicit makespan
+// budget and reports the energy split.
+func TestScheduleEnergyBudget(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := postSchedule(t, srv,
+		`{"tasks":[{"benchmark":"crc","size":"tiny","count":4}],"devices":["i7-6700k","gtx1080"],
+		  "policy":"energy","makespan_budget_ms":10000}`,
+		http.StatusOK)
+	if body["policy"] != "energy" {
+		t.Fatalf("policy %v", body["policy"])
+	}
+	if body["total_energy_j"].(float64) <= 0 {
+		t.Fatalf("energy %v", body["total_energy_j"])
+	}
+}
+
+// TestScheduleValidation is the regression test for the error convention:
+// unknown policies list every valid one sorted; malformed workloads name
+// the valid benchmarks; unknown devices name the catalogue; rows absent
+// from the store 404.
+func TestScheduleValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp := postSchedule(t, srv,
+		`{"tasks":[{"benchmark":"crc","size":"tiny"}],"policy":"quantum"}`, http.StatusBadRequest)
+	msg := resp["error"].(string)
+	last := -1
+	for _, name := range []string{"energy", "fastest-device", "greedy", "heft", "roundrobin"} {
+		i := strings.Index(msg, name)
+		if i < 0 {
+			t.Fatalf("policy error %q does not mention %q", msg, name)
+		}
+		if i < last {
+			t.Fatalf("policy error %q lists policies out of order", msg)
+		}
+		last = i
+	}
+
+	resp = postSchedule(t, srv, `{"tasks":[{"benchmark":"nosuch","size":"tiny"}]}`, http.StatusBadRequest)
+	for _, want := range []string{"nosuch", "crc", "fft"} {
+		if !strings.Contains(resp["error"].(string), want) {
+			t.Fatalf("workload error %q does not mention %q", resp["error"], want)
+		}
+	}
+
+	resp = postSchedule(t, srv, `{"tasks":[{"benchmark":"crc","size":"tiny"}],"devices":["gtx1081"]}`, http.StatusBadRequest)
+	if !strings.Contains(resp["error"].(string), "gtx1080") {
+		t.Fatalf("device error %q does not name the catalogue", resp["error"])
+	}
+
+	postSchedule(t, srv, `{"tasks":[]}`, http.StatusBadRequest)
+	postSchedule(t, srv, `{not json`, http.StatusBadRequest)
+	postSchedule(t, srv, `{"tasks":[{"benchmark":"crc","size":"tiny"}],"polcy":"heft"}`, http.StatusBadRequest)
+
+	// srad/tiny is a valid workload but has no stored cells on any device.
+	postSchedule(t, srv, `{"tasks":[{"benchmark":"srad","size":"tiny"}]}`, http.StatusNotFound)
+}
+
 // TestPredictRetrainsAfterJob: the forest is invalidated when a job adds
 // cells — training_cells must track the new snapshot.
 func TestPredictRetrainsAfterJob(t *testing.T) {

@@ -1,0 +1,122 @@
+package main
+
+// POST /v1/schedule: prediction-guided workload placement over the store.
+// The request names a workload (benchmark × size × count tasks, optional
+// per-task deadlines and energy budgets), a fleet (default: the whole
+// catalogue) and a policy; the response is the evaluated schedule — per
+// device timelines, makespan, energy, constraint violations — with every
+// slot flagged measured or predicted. The cost provider resolves measured
+// cells from the server's grid snapshot and predicts the rest with the §5
+// forests, cached per snapshot generation exactly like /v1/predict's
+// forest: a job that lands new cells invalidates it, and the next schedule
+// resolves those cells as measured.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/sched"
+	"opendwarfs/internal/suite"
+)
+
+// scheduleRequest is the POST /v1/schedule body.
+type scheduleRequest struct {
+	Tasks []sched.TaskSpec `json:"tasks"`
+	// Devices is the fleet; empty means all 15 catalogue devices.
+	Devices []string `json:"devices,omitempty"`
+	// Policy defaults to "heft".
+	Policy string `json:"policy,omitempty"`
+	// MakespanBudgetMs / BudgetFactor tune the energy policy.
+	MakespanBudgetMs float64 `json:"makespan_budget_ms,omitempty"`
+	BudgetFactor     float64 `json:"budget_factor,omitempty"`
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req scheduleRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid schedule request: %v (valid policies: %s)",
+			err, strings.Join(sched.Policies(), ", ")))
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = "heft"
+	}
+	pol, err := sched.LookupPolicy(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	workload, err := (&sched.WorkloadSpec{Tasks: req.Tasks}).Expand(suite.New())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fleet, err := sched.Fleet(req.Devices)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.RLock()
+	grid, gen := s.grid, s.gridGen
+	s.mu.RUnlock()
+	costs, err := s.scheduleCosts(grid, gen)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Prediction needs each row's AIWC profiles, which come from stored
+	// cells; a row never measured on any device is a 404, like /v1/predict.
+	if missing := costs.MissingRows(workload); len(missing) > 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no stored measurement of %s on any device; sweep them into the store first",
+				strings.Join(missing, ", ")))
+		return
+	}
+
+	schedule, err := pol.Schedule(workload, fleet, costs, sched.Options{
+		MakespanBudgetNs: req.MakespanBudgetMs * 1e6,
+		BudgetFactor:     req.BudgetFactor,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policy":          schedule.Policy,
+		"tasks":           len(schedule.Slots),
+		"makespan_ms":     schedule.MakespanNs / 1e6,
+		"total_energy_j":  schedule.TotalEnergyJ,
+		"idle_energy_j":   schedule.IdleEnergyJ,
+		"deadline_misses": schedule.DeadlineMisses,
+		"energy_overruns": schedule.EnergyOverruns,
+		"measured":        schedule.Measured,
+		"predicted":       schedule.Predicted,
+		"training_cells":  costs.TrainingCells(),
+		"slots":           schedule.Slots,
+		"lanes":           schedule.Lanes,
+	})
+}
+
+// scheduleCosts returns the cost provider for the given snapshot
+// generation, building it (two forests, deterministic in cfg.Seed) when
+// the cached one is missing or stale — the same generation discipline as
+// trainedForest, under its own lock so schedules and predictions do not
+// serialise each other's training.
+func (s *server) scheduleCosts(grid *harness.Grid, gen int) (*sched.Costs, error) {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	if s.schedGen == gen {
+		return s.schedCosts, s.schedErr
+	}
+	costs, err := sched.NewCosts(grid, s.cfg)
+	if gen > s.schedGen {
+		s.schedCosts, s.schedErr, s.schedGen = costs, err, gen
+	}
+	return costs, err
+}

@@ -243,6 +243,84 @@ func TestStoreConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestHitRateMixedResweep pins Grid.StoreHits/StoreMisses/HitRate under a
+// partially-warm store: a re-sweep wider than the original must hit
+// exactly the old cells, miss exactly the new ones, report the matching
+// rate, and agree with the event stream's final counters. Merge must
+// accumulate the counters across grids.
+func TestHitRateMixedResweep(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := suite.New()
+	warm := tinyStoreSpec(st) // crc,fft × tiny × 3 devices = 6 cells
+	if _, err := RunGrid(context.Background(), reg, warm); err != nil {
+		t.Fatal(err)
+	}
+
+	// Widen by one benchmark and one device: 3×tiny×4 = 12 cells, of which
+	// the original 6 are warm.
+	wide := warm
+	wide.Benchmarks = []string{"crc", "fft", "nw"}
+	wide.Devices = append(append([]string(nil), warm.Devices...), "titanx")
+	events, err := Stream(context.Background(), reg, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *Grid
+	var lastHits, lastMisses int
+	for ev := range events {
+		switch ev.Kind {
+		case EventStoreHit, EventCellDone:
+			if ev.Hits < lastHits || ev.Misses < lastMisses {
+				t.Fatalf("event counters went backwards: %d/%d after %d/%d", ev.Hits, ev.Misses, lastHits, lastMisses)
+			}
+			lastHits, lastMisses = ev.Hits, ev.Misses
+		case EventGridDone:
+			g = ev.Grid
+			if ev.Hits != g.StoreHits || ev.Misses != g.StoreMisses {
+				t.Fatalf("grid_done counters %d/%d disagree with grid %d/%d", ev.Hits, ev.Misses, g.StoreHits, g.StoreMisses)
+			}
+		}
+	}
+	if g.StoreHits != 6 || g.StoreMisses != 6 {
+		t.Fatalf("mixed re-sweep: %d hits / %d misses, want 6/6", g.StoreHits, g.StoreMisses)
+	}
+	if g.StoreHits != lastHits || g.StoreMisses != lastMisses {
+		t.Fatalf("final cell event counters %d/%d disagree with grid %d/%d", lastHits, lastMisses, g.StoreHits, g.StoreMisses)
+	}
+	if got, want := g.HitRate(), 100*6.0/12.0; got != want {
+		t.Fatalf("hit rate %.2f%%, want %.2f%%", got, want)
+	}
+
+	// A fresh, store-less grid reports a zero rate, not NaN.
+	if (&Grid{}).HitRate() != 0 {
+		t.Fatal("empty grid HitRate not 0")
+	}
+
+	// Merge accumulates the counters (last-wins on cells does not lose the
+	// provenance tally).
+	cold, err := RunGrid(context.Background(), reg, tinyStoreSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := &Grid{}
+	merged.Merge(g)
+	merged.Merge(cold)
+	if merged.StoreHits != 6 || merged.StoreMisses != 6 {
+		t.Fatalf("merge lost counters: %d/%d", merged.StoreHits, merged.StoreMisses)
+	}
+	// Re-sweeping the widened spec again is now a 100% hit.
+	again, err := RunGrid(context.Background(), reg, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.HitRate() != 100 || again.StoreMisses != 0 {
+		t.Fatalf("second re-sweep: rate %.1f%%, misses %d", again.HitRate(), again.StoreMisses)
+	}
+}
+
 // TestUnknownSizeAndDeviceFailLoudly: a typo'd -sizes or -devices value
 // must name the sorted valid values instead of being silently skipped.
 func TestUnknownSizeAndDeviceFailLoudly(t *testing.T) {

@@ -104,15 +104,17 @@ func CellFeatures(m *harness.Measurement) []float64 {
 	return Features(m.Profiles, m.KernelLaunches, m.Device)
 }
 
-// FromGrid flattens every measured cell into a training row. Rows come out
-// in grid order, so the dataset — like the grid — is deterministic and
-// independent of how many workers measured it.
-func FromGrid(g *harness.Grid) (*Dataset, error) {
+// fromGrid flattens every measured cell into a training row over the given
+// regression target (stored linearly in Row.MedianNs, logged in Row.LogNs).
+// Rows come out in grid order, so the dataset — like the grid — is
+// deterministic and independent of how many workers measured it.
+func fromGrid(g *harness.Grid, what string, target func(*harness.Measurement) float64) (*Dataset, error) {
 	ds := &Dataset{FeatureNames: FeatureNames()}
 	for _, m := range g.Measurements {
-		if m.Kernel.Median <= 0 {
-			return nil, fmt.Errorf("predict: cell %s/%s/%s has non-positive median kernel time",
-				m.Benchmark, m.Size, m.Device.ID)
+		v := target(m)
+		if v <= 0 {
+			return nil, fmt.Errorf("predict: cell %s/%s/%s has non-positive median %s",
+				m.Benchmark, m.Size, m.Device.ID, what)
 		}
 		ds.Rows = append(ds.Rows, Row{
 			Benchmark: m.Benchmark,
@@ -120,14 +122,27 @@ func FromGrid(g *harness.Grid) (*Dataset, error) {
 			Device:    m.Device.ID,
 			Class:     m.Device.Class.String(),
 			Features:  CellFeatures(m),
-			MedianNs:  m.Kernel.Median,
-			LogNs:     math.Log(m.Kernel.Median),
+			MedianNs:  v,
+			LogNs:     math.Log(v),
 		})
 	}
 	if len(ds.Rows) == 0 {
 		return nil, fmt.Errorf("predict: empty grid")
 	}
 	return ds, nil
+}
+
+// FromGrid builds the runtime dataset: the target is ln(median kernel time).
+func FromGrid(g *harness.Grid) (*Dataset, error) {
+	return fromGrid(g, "kernel time", func(m *harness.Measurement) float64 { return m.Kernel.Median })
+}
+
+// EnergyFromGrid builds the dataset behind the scheduler's energy cost
+// model: identical features, targeting ln(median energy) — Row.MedianNs
+// holds Joules. The same Forest machinery (and its determinism guarantees)
+// applies unchanged.
+func EnergyFromGrid(g *harness.Grid) (*Dataset, error) {
+	return fromGrid(g, "energy", func(m *harness.Measurement) float64 { return m.Energy.Median })
 }
 
 // Split partitions the dataset's rows by a key function into (held, rest) —

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"opendwarfs/internal/sched"
+)
+
+// PolicyComparison renders one row per schedule of the same workload ×
+// fleet — the dwarfsched headline table: makespan, energy split, devices
+// used, constraint violations, and how much of the plan rested on
+// predictions.
+func PolicyComparison(w io.Writer, schedules []*sched.Schedule) {
+	headers := []string{"Policy", "Makespan (ms)", "Active (J)", "Idle (J)",
+		"Devices", "Deadline miss", "Energy over", "Measured", "Predicted"}
+	var rows [][]string
+	for _, s := range schedules {
+		rows = append(rows, []string{
+			s.Policy,
+			fmt.Sprintf("%.3f", s.MakespanNs/1e6),
+			fmt.Sprintf("%.3f", s.TotalEnergyJ),
+			fmt.Sprintf("%.3f", s.IdleEnergyJ),
+			fmt.Sprintf("%d", len(s.Devices())),
+			fmt.Sprintf("%d", s.DeadlineMisses),
+			fmt.Sprintf("%d", s.EnergyOverruns),
+			fmt.Sprintf("%d", s.Measured),
+			fmt.Sprintf("%d", s.Predicted),
+		})
+	}
+	fmt.Fprintln(w, "Policy comparison (same workload, fleet and cost model)")
+	Table(w, headers, rows)
+}
+
+// ScheduleTimeline renders the per-device timelines of one schedule:
+// lanes in fleet order, slots in start order, with the cost source of
+// each placement.
+func ScheduleTimeline(w io.Writer, s *sched.Schedule) {
+	headers := []string{"Device", "Task", "Start (ms)", "Finish (ms)", "Energy (J)", "Source", "Flags"}
+	var rows [][]string
+	for _, lane := range s.Lanes {
+		if lane.Tasks == 0 {
+			continue
+		}
+		var slots []*sched.Slot
+		for i := range s.Slots {
+			if s.Slots[i].Device == lane.Device {
+				slots = append(slots, &s.Slots[i])
+			}
+		}
+		sort.Slice(slots, func(a, b int) bool { return slots[a].StartNs < slots[b].StartNs })
+		for _, sl := range slots {
+			flags := ""
+			if sl.DeadlineMiss {
+				flags += " deadline-miss"
+			}
+			if sl.EnergyOver {
+				flags += " energy-over"
+			}
+			rows = append(rows, []string{
+				lane.Device, sl.TaskID,
+				fmt.Sprintf("%.3f", sl.StartNs/1e6),
+				fmt.Sprintf("%.3f", sl.FinishNs/1e6),
+				fmt.Sprintf("%.3f", sl.EnergyJ),
+				string(sl.Source),
+				flags,
+			})
+		}
+	}
+	fmt.Fprintf(w, "Schedule timeline (%s): makespan %.3f ms, energy %.3f J active + %.3f J idle\n",
+		s.Policy, s.MakespanNs/1e6, s.TotalEnergyJ, s.IdleEnergyJ)
+	Table(w, headers, rows)
+}
+
+// OnlineRounds renders the online loop's convergence: per round, the
+// prediction share of the plan, the execution's store hit split, and —
+// when an oracle was configured — the raw and incumbent regret.
+func OnlineRounds(w io.Writer, rounds []sched.Round, withRegret bool) {
+	headers := []string{"Round", "Predicted", "Measured", "Exec hits", "Exec misses"}
+	if withRegret {
+		headers = append(headers, "Actual (ms)", "Oracle (ms)", "Regret (%)", "Best (%)")
+	}
+	var rows [][]string
+	for i := range rounds {
+		r := &rounds[i]
+		row := []string{
+			fmt.Sprintf("%d", r.Index),
+			fmt.Sprintf("%d", r.Predicted),
+			fmt.Sprintf("%d", r.Measured),
+			fmt.Sprintf("%d", r.StoreHits),
+			fmt.Sprintf("%d", r.StoreMisses),
+		}
+		if withRegret {
+			row = append(row,
+				fmt.Sprintf("%.3f", r.ActualNs/1e6),
+				fmt.Sprintf("%.3f", r.OracleNs/1e6),
+				fmt.Sprintf("%.2f", r.RegretPct),
+				fmt.Sprintf("%.2f", r.BestRegretPct),
+			)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(w, "Online scheduling rounds (schedule -> execute -> re-train)")
+	Table(w, headers, rows)
+}

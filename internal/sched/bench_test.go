@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"opendwarfs/internal/sim"
+)
+
+// benchFixture builds a 264-task workload over the full 15-device catalogue
+// with synthetic costs, so the benchmarks time pure scheduling — no
+// measurement, no forest. Costs vary per (row, device) to keep the
+// decision structure realistic.
+func benchFixture() (*Workload, []*sim.DeviceSpec, CostProvider) {
+	fleet := sim.Devices()
+	w := &Workload{}
+	for r := 0; r < 24; r++ {
+		for k := 0; k < 11; k++ {
+			w.Tasks = append(w.Tasks, Task{
+				ID:        fmt.Sprintf("t%d", len(w.Tasks)),
+				Benchmark: fmt.Sprintf("bench%d", k),
+				Size:      fmt.Sprintf("size%d", r),
+			})
+		}
+	}
+	return w, fleet, benchCosts{}
+}
+
+// benchCosts derives deterministic synthetic costs from the device's peak
+// rate and a per-row factor.
+type benchCosts struct{}
+
+func (benchCosts) Cost(bench, size string, dev *sim.DeviceSpec) (Cost, error) {
+	h := 0
+	for _, c := range bench + "/" + size {
+		h = h*31 + int(c)
+	}
+	scale := 1 + float64(h%97)/10
+	return Cost{
+		TimeNs:  scale * 1e12 / dev.PeakGFLOPS,
+		EnergyJ: scale * dev.TDPWatts / 100,
+		Source:  SourceMeasured,
+	}, nil
+}
+
+func benchmarkPolicy(b *testing.B, name string) {
+	w, fleet, costs := benchFixture()
+	pol, err := LookupPolicy(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Schedule(w, fleet, costs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleHEFT(b *testing.B)   { benchmarkPolicy(b, "heft") }
+func BenchmarkScheduleGreedy(b *testing.B) { benchmarkPolicy(b, "greedy") }
+func BenchmarkScheduleEnergy(b *testing.B) { benchmarkPolicy(b, "energy") }

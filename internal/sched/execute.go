@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/predict"
+	"opendwarfs/internal/sim"
+)
+
+// Streamer starts measurement of one benchmark × size × device selection
+// and returns its typed event channel — the shape of
+// opendwarfs.Session.Stream (and of harness.Stream with a registry bound).
+// A store-backed streamer persists every measured cell and store-hits the
+// already-measured ones, which is what makes the online loop converge.
+type Streamer func(ctx context.Context, benchmarks, sizes, devices []string) (<-chan harness.Event, error)
+
+// cellGroup is one exact selection a schedule expands to: a single
+// benchmark × size on the devices its tasks were placed on (one bench ×
+// one size × D devices is a cross product of exactly D cells, so nothing
+// outside the schedule gets measured).
+type cellGroup struct {
+	bench, size string
+	devices     []string
+}
+
+// cellGroups lists the schedule's distinct cells grouped per (benchmark,
+// size), rows and devices sorted for a deterministic execution order.
+func cellGroups(s *Schedule) []cellGroup {
+	devs := map[string]map[string]bool{}
+	for i := range s.Slots {
+		key := rowKey(s.Slots[i].Benchmark, s.Slots[i].Size)
+		if devs[key] == nil {
+			devs[key] = map[string]bool{}
+		}
+		devs[key][s.Slots[i].Device] = true
+	}
+	keys := make([]string, 0, len(devs))
+	for k := range devs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups := make([]cellGroup, 0, len(keys))
+	for _, k := range keys {
+		bench, size, _ := strings.Cut(k, "\x00")
+		g := cellGroup{bench: bench, size: size}
+		for d := range devs[k] {
+			g.devices = append(g.devices, d)
+		}
+		sort.Strings(g.devices)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// StreamCells runs one benchmark × size × device selection through the
+// streamer and returns the grid its terminal event carries — the single
+// drain shared by Execute and by CLI bootstrap/oracle sweeps. Under
+// cancellation the grid holds whatever completed, alongside the error.
+func StreamCells(ctx context.Context, run Streamer, benchmarks, sizes, devices []string) (*harness.Grid, error) {
+	out := &harness.Grid{}
+	events, err := run(ctx, benchmarks, sizes, devices)
+	if err != nil {
+		return out, err
+	}
+	for ev := range events {
+		if ev.Kind == harness.EventGridDone {
+			if ev.Grid != nil {
+				out.Merge(ev.Grid)
+			}
+			if ev.Err != nil {
+				return out, ev.Err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Execute measures every distinct cell of the schedule through the
+// streamer and returns the merged grid. With a store-backed streamer the
+// already-measured cells are store hits and the rest persist, so the next
+// scheduling round resolves them as measured. Cancelling ctx stops between
+// cells; the returned grid holds whatever completed, alongside the error.
+func Execute(ctx context.Context, run Streamer, s *Schedule) (*harness.Grid, error) {
+	out := &harness.Grid{}
+	for _, g := range cellGroups(s) {
+		sub, err := StreamCells(ctx, run, []string{g.bench}, []string{g.size}, g.devices)
+		out.Merge(sub)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Round is one online-loop iteration: the schedule planned from the
+// knowledge available at its start, and — when the loop has an oracle —
+// its regret after execution.
+type Round struct {
+	Index    int
+	Schedule *Schedule
+	// Predicted and Measured mirror the schedule's cost sources: how much
+	// of this round's plan rested on predictions.
+	Predicted, Measured int
+	// ActualNs is the schedule retimed under measured costs — exact after
+	// execution, since execution measures precisely the schedule's cells.
+	// OracleNs is the same policy run on fully measured costs; RegretPct
+	// compares the two. BestRegretPct is the incumbent: the lowest regret
+	// of any round so far, i.e. the regret of the best schedule the loop
+	// has found — non-increasing by construction. All four are NaN-free
+	// only when the loop was given an oracle.
+	ActualNs, OracleNs       float64
+	RegretPct, BestRegretPct float64
+	// StoreHits/StoreMisses of this round's execution: how much was
+	// re-measured versus served from the store.
+	StoreHits, StoreMisses int
+}
+
+// LoopResult is the outcome of an online scheduling loop.
+type LoopResult struct {
+	Rounds []Round
+	// Grid is the final knowledge grid: the initial cells plus everything
+	// the rounds executed.
+	Grid *harness.Grid
+}
+
+// LoopParams configures OnlineLoop.
+type LoopParams struct {
+	Stream   Streamer
+	Workload *Workload
+	Fleet    []*sim.DeviceSpec
+	Policy   Policy
+	// Forest configures the per-round cost-model training.
+	Forest predict.Config
+	// Sched tunes the policy (energy budget etc.).
+	Sched Options
+	// Known seeds the loop's knowledge: the measured cells the first
+	// round's cost model trains on (at least predict's minimum). The loop
+	// merges executed cells into a copy; the caller's grid is not mutated.
+	Known *harness.Grid
+	// Costs, when non-nil, serves as round 0's provider (it must have been
+	// built over Known — re-training on the same cells would be
+	// bitwise-identical anyway) and donates its characterisations
+	// (EnsureProfiles results) to every later round's re-trained provider,
+	// so workload rows with no measured cell anywhere can still be
+	// scheduled in round 0.
+	Costs *Costs
+	// Oracle, when non-nil, is the measured-cost reference schedule; the
+	// loop then reports per-round regret. Truth must resolve every
+	// workload × fleet cell as measured (the grid the oracle was built
+	// on). Leave both nil to run without regret accounting.
+	Oracle *Schedule
+	Truth  CostProvider
+	Rounds int
+}
+
+// OnlineLoop alternates schedule → execute → re-train for the configured
+// number of rounds. Execution flows through the streamer, so with a store
+// attached each round's measured cells persist and the next round's cost
+// provider resolves them as measured — predictions drain out of the plan
+// and, with an oracle configured, the incumbent regret is non-increasing.
+func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
+	if p.Rounds <= 0 {
+		return nil, fmt.Errorf("sched: non-positive round count %d", p.Rounds)
+	}
+	if (p.Oracle == nil) != (p.Truth == nil) {
+		return nil, fmt.Errorf("sched: Oracle and Truth must be set together")
+	}
+	known := &harness.Grid{}
+	if p.Known != nil {
+		known.Merge(p.Known)
+	}
+	res := &LoopResult{Grid: known}
+	best := 0.0
+	prev := p.Costs
+	for r := 0; r < p.Rounds; r++ {
+		costs := p.Costs
+		if r > 0 || costs == nil {
+			var err error
+			if costs, err = NewCosts(known, p.Forest); err != nil {
+				return res, fmt.Errorf("sched: round %d: %w", r, err)
+			}
+			costs.AdoptProfiles(prev)
+		}
+		prev = costs
+		if missing := costs.MissingRows(p.Workload); len(missing) > 0 {
+			return res, fmt.Errorf("sched: round %d: no measurements or characterisation for %v", r, missing)
+		}
+		s, err := p.Policy.Schedule(p.Workload, p.Fleet, costs, p.Sched)
+		if err != nil {
+			return res, fmt.Errorf("sched: round %d: %w", r, err)
+		}
+		executed, err := Execute(ctx, p.Stream, s)
+		if executed != nil {
+			known.Merge(executed)
+		}
+		if err != nil {
+			return res, fmt.Errorf("sched: round %d execution: %w", r, err)
+		}
+		round := Round{
+			Index: r, Schedule: s,
+			Predicted: s.Predicted, Measured: s.Measured,
+			StoreHits: executed.StoreHits, StoreMisses: executed.StoreMisses,
+		}
+		if p.Oracle != nil {
+			actual, err := s.Retime(p.Truth)
+			if err != nil {
+				return res, fmt.Errorf("sched: round %d retime: %w", r, err)
+			}
+			round.ActualNs = actual.MakespanNs
+			round.OracleNs = p.Oracle.MakespanNs
+			round.RegretPct = Regret(actual, p.Oracle)
+			if r == 0 || round.RegretPct < best {
+				best = round.RegretPct
+			}
+			round.BestRegretPct = best
+		}
+		res.Rounds = append(res.Rounds, round)
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTimelineCSV exports the schedule's slots, one row per placed task
+// in placement (per-device execution) order. Columns mirror the Slot wire
+// form; times are in nanoseconds to round-trip losslessly.
+func WriteTimelineCSV(w io.Writer, s *Schedule) error {
+	cw := csv.NewWriter(w)
+	header := []string{"policy", "task", "benchmark", "size", "device",
+		"start_ns", "finish_ns", "time_ns", "energy_j", "source", "deadline_miss", "energy_over"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range s.Slots {
+		sl := &s.Slots[i]
+		row := []string{
+			s.Policy, sl.TaskID, sl.Benchmark, sl.Size, sl.Device,
+			formatFloat(sl.StartNs), formatFloat(sl.FinishNs),
+			formatFloat(sl.TimeNs), formatFloat(sl.EnergyJ),
+			string(sl.Source),
+			fmt.Sprintf("%t", sl.DeadlineMiss), fmt.Sprintf("%t", sl.EnergyOver),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WriteTimelineJSONL exports one JSON object per slot, prefixed with a
+// schedule-summary line — the stream form of the same timeline.
+func WriteTimelineJSONL(w io.Writer, s *Schedule) error {
+	enc := json.NewEncoder(w)
+	summary := map[string]any{
+		"policy":          s.Policy,
+		"tasks":           len(s.Slots),
+		"makespan_ns":     s.MakespanNs,
+		"total_energy_j":  s.TotalEnergyJ,
+		"idle_energy_j":   s.IdleEnergyJ,
+		"deadline_misses": s.DeadlineMisses,
+		"energy_overruns": s.EnergyOverruns,
+		"measured":        s.Measured,
+		"predicted":       s.Predicted,
+	}
+	if err := enc.Encode(summary); err != nil {
+		return err
+	}
+	for i := range s.Slots {
+		if err := enc.Encode(&s.Slots[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"opendwarfs/internal/sim"
+)
+
+// Options tunes policy behaviour; the zero value gets DefaultOptions'
+// derived budget.
+type Options struct {
+	// MakespanBudgetNs caps the energy policy's predicted makespan. 0
+	// derives the budget as BudgetFactor × the HEFT makespan on the same
+	// costs.
+	MakespanBudgetNs float64
+	// BudgetFactor is the HEFT-relative slack of the derived budget
+	// (default 1.25: up to 25% slower than HEFT, as frugal as possible).
+	BudgetFactor float64
+}
+
+// DefaultOptions returns the dwarfsched/dwarfserve defaults.
+func DefaultOptions() Options { return Options{BudgetFactor: 1.25} }
+
+func (o Options) withDefaults() Options {
+	if o.BudgetFactor <= 0 {
+		o.BudgetFactor = DefaultOptions().BudgetFactor
+	}
+	return o
+}
+
+// Policy maps a workload onto a fleet using a cost provider. Schedules are
+// pure functions of (workload, fleet, costs, opt): ties break on stable
+// orders — task index, fleet order — never on map iteration or randomness.
+type Policy interface {
+	// Name is the registry key ("heft", "greedy", ...).
+	Name() string
+	// Schedule places every task and returns the evaluated timeline.
+	Schedule(w *Workload, fleet []*sim.DeviceSpec, costs CostProvider, opt Options) (*Schedule, error)
+}
+
+// policyFunc adapts a placement function into a Policy.
+type policyFunc struct {
+	name  string
+	place func(w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost, opt Options) []placement
+}
+
+func (p policyFunc) Name() string { return p.name }
+
+func (p policyFunc) Schedule(w *Workload, fleet []*sim.DeviceSpec, costs CostProvider, opt Options) (*Schedule, error) {
+	if len(w.Tasks) == 0 {
+		return nil, fmt.Errorf("sched: empty workload")
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("sched: empty fleet")
+	}
+	matrix, err := costMatrix(w, fleet, costs)
+	if err != nil {
+		return nil, err
+	}
+	return evaluate(p.name, w, fleet, matrix, p.place(w, fleet, matrix, opt.withDefaults())), nil
+}
+
+// The registry. Policy names are the CLI/API vocabulary; keep them in sync
+// with DESIGN.md §8.
+var policies = map[string]Policy{
+	"roundrobin":     policyFunc{"roundrobin", placeRoundRobin},
+	"fastest-device": policyFunc{"fastest-device", placeFastestDevice},
+	"greedy":         policyFunc{"greedy", placeGreedy},
+	"heft":           policyFunc{"heft", placeHEFT},
+	"energy":         policyFunc{"energy", placeEnergy},
+}
+
+// Policies returns the sorted names of every registered policy.
+func Policies() []string {
+	names := make([]string, 0, len(policies))
+	for name := range policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupPolicy resolves a policy by name; unknown names fail with the
+// sorted list of valid ones, the planCells convention.
+func LookupPolicy(name string) (Policy, error) {
+	if p, ok := policies[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (valid: %v)", name, Policies())
+}
+
+// placeRoundRobin is the fairness baseline: task i goes to fleet device
+// i mod F, in workload order, blind to costs.
+func placeRoundRobin(w *Workload, fleet []*sim.DeviceSpec, _ [][]Cost, _ Options) []placement {
+	places := make([]placement, len(w.Tasks))
+	for i := range w.Tasks {
+		places[i] = placement{task: i, dev: i % len(fleet)}
+	}
+	return places
+}
+
+// placeFastestDevice is the per-task argmin baseline — the old
+// examples/scheduling selection: each task goes to the device with the
+// lowest predicted time for it, ignoring the queue that builds there.
+func placeFastestDevice(w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost, _ Options) []placement {
+	places := make([]placement, len(w.Tasks))
+	for i := range w.Tasks {
+		best := 0
+		for d := 1; d < len(fleet); d++ {
+			if matrix[i][d].TimeNs < matrix[i][best].TimeNs {
+				best = d
+			}
+		}
+		places[i] = placement{task: i, dev: best}
+	}
+	return places
+}
+
+// eft returns the earliest-finish-time device for a task given current
+// per-device ready times; ties resolve to fleet order.
+func eft(ready []float64, row []Cost) int {
+	best := 0
+	for d := 1; d < len(row); d++ {
+		if ready[d]+row[d].TimeNs < ready[best]+row[best].TimeNs {
+			best = d
+		}
+	}
+	return best
+}
+
+// placeGreedy is list scheduling in workload order: each task in turn goes
+// to the device that finishes it earliest given the queues built so far.
+func placeGreedy(w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost, _ Options) []placement {
+	ready := make([]float64, len(fleet))
+	places := make([]placement, 0, len(w.Tasks))
+	for i := range w.Tasks {
+		d := eft(ready, matrix[i])
+		ready[d] += matrix[i][d].TimeNs
+		places = append(places, placement{task: i, dev: d})
+	}
+	return places
+}
+
+// rankOrder returns task indices by decreasing mean cost across the fleet
+// — the HEFT upward rank, which for independent tasks reduces to the mean
+// execution time. Ties keep workload order (stable sort).
+func rankOrder(w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost) []int {
+	rank := make([]float64, len(w.Tasks))
+	for i := range matrix {
+		sum := 0.0
+		for d := range matrix[i] {
+			sum += matrix[i][d].TimeNs
+		}
+		rank[i] = sum / float64(len(fleet))
+	}
+	order := make([]int, len(w.Tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rank[order[a]] > rank[order[b]] })
+	return order
+}
+
+// placeHEFT is the HEFT-style list scheduler: tasks by decreasing mean
+// cost (long tasks first, so they cannot strand the makespan at the tail),
+// each placed on its earliest-finish-time device.
+func placeHEFT(w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost, _ Options) []placement {
+	ready := make([]float64, len(fleet))
+	places := make([]placement, 0, len(w.Tasks))
+	for _, i := range rankOrder(w, fleet, matrix) {
+		d := eft(ready, matrix[i])
+		ready[d] += matrix[i][d].TimeNs
+		places = append(places, placement{task: i, dev: d})
+	}
+	return places
+}
+
+// placeEnergy minimises active Joules subject to a makespan budget: tasks
+// in HEFT rank order, each on the lowest-energy device whose queue still
+// finishes the task within budget, falling back to the earliest-finish
+// device when none does. The budget is explicit (MakespanBudgetNs) or
+// derived as BudgetFactor × the HEFT makespan on the same costs, using
+// DeviceSpec TDP/idle watts through the energy cost model.
+func placeEnergy(w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost, opt Options) []placement {
+	budget := opt.MakespanBudgetNs
+	if budget <= 0 {
+		heft := evaluate("heft", w, fleet, matrix, placeHEFT(w, fleet, matrix, opt))
+		budget = opt.BudgetFactor * heft.MakespanNs
+	}
+	ready := make([]float64, len(fleet))
+	places := make([]placement, 0, len(w.Tasks))
+	for _, i := range rankOrder(w, fleet, matrix) {
+		best, bestEnergy := -1, 0.0
+		for d := range fleet {
+			if ready[d]+matrix[i][d].TimeNs > budget {
+				continue
+			}
+			if best < 0 || matrix[i][d].EnergyJ < bestEnergy {
+				best, bestEnergy = d, matrix[i][d].EnergyJ
+			}
+		}
+		if best < 0 {
+			best = eft(ready, matrix[i])
+		}
+		ready[best] += matrix[i][best].TimeNs
+		places = append(places, placement{task: i, dev: best})
+	}
+	return places
+}

@@ -1,0 +1,681 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"opendwarfs/internal/harness"
+	"opendwarfs/internal/predict"
+	"opendwarfs/internal/sim"
+	"opendwarfs/internal/store"
+	"opendwarfs/internal/suite"
+)
+
+// testForest keeps cost-model training cheap; determinism does not depend
+// on ensemble size.
+func testForest() predict.Config {
+	cfg := predict.DefaultConfig()
+	cfg.Trees = 24
+	return cfg
+}
+
+func testOptions() harness.Options {
+	opt := harness.DefaultOptions()
+	opt.Samples = 6
+	return opt
+}
+
+// measure runs a small benchmark × size × device grid for cost-model tests.
+func measure(t *testing.T, benches, sizes, devices []string, st *store.Store) *harness.Grid {
+	t.Helper()
+	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
+		Benchmarks: benches,
+		Sizes:      sizes,
+		Devices:    devices,
+		Options:    testOptions(),
+		Workers:    2,
+		Store:      st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testWorkload(t *testing.T) *Workload {
+	t.Helper()
+	spec := WorkloadSpec{Tasks: []TaskSpec{
+		{Benchmark: "crc", Size: "tiny", Count: 3},
+		{Benchmark: "fft", Size: "tiny", Count: 3},
+		{Benchmark: "nw", Size: "tiny", Count: 2},
+	}}
+	w, err := spec.Expand(suite.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func fleetOf(t *testing.T, ids ...string) []*sim.DeviceSpec {
+	t.Helper()
+	fleet, err := sim.LookupAll(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// fakeCosts is a hand-rolled provider for evaluator unit tests: time and
+// energy per device ID, identical for every workload row.
+type fakeCosts struct {
+	timeNs  map[string]float64
+	energyJ map[string]float64
+}
+
+func (f fakeCosts) Cost(bench, size string, dev *sim.DeviceSpec) (Cost, error) {
+	tn, ok := f.timeNs[dev.ID]
+	if !ok {
+		return Cost{}, fmt.Errorf("fake: no cost for %s", dev.ID)
+	}
+	return Cost{TimeNs: tn, EnergyJ: f.energyJ[dev.ID], Source: SourceMeasured}, nil
+}
+
+func TestLookupPolicyUnknownListsSorted(t *testing.T) {
+	if _, err := LookupPolicy("heft"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LookupPolicy("quantum-annealer")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// The error must carry every valid policy, in sorted order.
+	want := []string{"energy", "fastest-device", "greedy", "heft", "roundrobin"}
+	if !reflect.DeepEqual(Policies(), want) {
+		t.Fatalf("Policies() = %v, want sorted %v", Policies(), want)
+	}
+	msg := err.Error()
+	last := -1
+	for _, name := range want {
+		i := strings.Index(msg, name)
+		if i < 0 {
+			t.Fatalf("error %q does not mention policy %q", msg, name)
+		}
+		if i < last {
+			t.Fatalf("error %q does not list policies in sorted order", msg)
+		}
+		last = i
+	}
+}
+
+func TestWorkloadSpecValidation(t *testing.T) {
+	reg := suite.New()
+
+	_, err := (&WorkloadSpec{Tasks: []TaskSpec{{Benchmark: "nope", Size: "tiny"}}}).Expand(reg)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	for _, want := range []string{"nope", "crc", "fft", "srad"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("benchmark error %q does not mention %q", err, want)
+		}
+	}
+
+	_, err = (&WorkloadSpec{Tasks: []TaskSpec{{Benchmark: "nqueens", Size: "large"}}}).Expand(reg)
+	if err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+	if !strings.Contains(err.Error(), "large") {
+		t.Fatalf("size error %q does not name the bad size", err)
+	}
+
+	if _, err := (&WorkloadSpec{}).Expand(reg); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := (&WorkloadSpec{Tasks: []TaskSpec{{Benchmark: "crc", Size: "tiny", Count: -1}}}).Expand(reg); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	// The expansion cap: /v1/schedule is an open endpoint, one request must
+	// not allocate an unbounded task list.
+	if _, err := (&WorkloadSpec{Tasks: []TaskSpec{{Benchmark: "crc", Size: "tiny", Count: 2_000_000_000}}}).Expand(reg); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	if _, err := (&WorkloadSpec{Tasks: []TaskSpec{
+		{Benchmark: "crc", Size: "tiny", Count: MaxWorkloadTasks - 1},
+		{Benchmark: "fft", Size: "tiny", Count: 2},
+	}}).Expand(reg); err == nil {
+		t.Fatal("oversized total accepted")
+	}
+
+	w, err := (&WorkloadSpec{Tasks: []TaskSpec{
+		{Benchmark: "crc", Size: "tiny", Count: 2},
+		{Benchmark: "fft", Size: "tiny"},
+	}}).Expand(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != 3 {
+		t.Fatalf("%d tasks, want 3 (count expansion)", len(w.Tasks))
+	}
+	if len(w.Rows()) != 2 {
+		t.Fatalf("%d rows, want 2", len(w.Rows()))
+	}
+}
+
+// TestEvaluatorTimeline pins the discrete-event semantics on hand-rolled
+// costs: FIFO per device, makespan, idle energy, deadline and energy-budget
+// accounting.
+func TestEvaluatorTimeline(t *testing.T) {
+	fleet := fleetOf(t, "i7-6700k", "gtx1080")
+	costs := fakeCosts{
+		timeNs:  map[string]float64{"i7-6700k": 100, "gtx1080": 60},
+		energyJ: map[string]float64{"i7-6700k": 1, "gtx1080": 4},
+	}
+	w := &Workload{Tasks: []Task{
+		{ID: "a", Benchmark: "crc", Size: "tiny"},
+		{ID: "b", Benchmark: "crc", Size: "tiny", DeadlineNs: 50}, // misses everywhere
+		{ID: "c", Benchmark: "crc", Size: "tiny", EnergyBudgetJ: 2},
+	}}
+
+	pol, err := LookupPolicy("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pol.Schedule(w, fleet, costs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy EFT: a→gtx (60), b→i7 (100), c→gtx (60+60=120 vs i7 200).
+	wantDev := map[string]string{"a": "gtx1080", "b": "i7-6700k", "c": "gtx1080"}
+	for _, sl := range s.Slots {
+		if sl.Device != wantDev[sl.TaskID] {
+			t.Fatalf("task %s on %s, want %s", sl.TaskID, sl.Device, wantDev[sl.TaskID])
+		}
+	}
+	if s.MakespanNs != 120 {
+		t.Fatalf("makespan %g, want 120", s.MakespanNs)
+	}
+	if s.DeadlineMisses != 1 {
+		t.Fatalf("%d deadline misses, want 1 (task b finishes at 100 > 50)", s.DeadlineMisses)
+	}
+	if s.EnergyOverruns != 1 {
+		t.Fatalf("%d energy overruns, want 1 (task c costs 4 J > 2 J)", s.EnergyOverruns)
+	}
+	if s.TotalEnergyJ != 9 {
+		t.Fatalf("active energy %g, want 9 (4+1+4)", s.TotalEnergyJ)
+	}
+	// Idle: gtx busy 120 of 120 → 0; i7 busy 100 of 120 → 20 ns × IdleWatts.
+	wantIdle := 20 * 1e-9 * fleet[0].IdleWatts
+	if s.IdleEnergyJ != wantIdle {
+		t.Fatalf("idle energy %g, want %g", s.IdleEnergyJ, wantIdle)
+	}
+
+	// Retime under doubled costs: same placement, scaled timeline.
+	slower := fakeCosts{
+		timeNs:  map[string]float64{"i7-6700k": 200, "gtx1080": 120},
+		energyJ: costs.energyJ,
+	}
+	rt, err := s.Retime(slower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.MakespanNs != 240 {
+		t.Fatalf("retimed makespan %g, want 240", rt.MakespanNs)
+	}
+	for i := range rt.Slots {
+		if rt.Slots[i].TaskID != s.Slots[i].TaskID || rt.Slots[i].Device != s.Slots[i].Device {
+			t.Fatal("retime changed the placement")
+		}
+	}
+}
+
+// TestEnergyPolicyFrugalWithinBudget: with a non-binding budget the energy
+// policy reaches the per-task active-energy lower bound; with a binding
+// budget it stays within it when feasible placements exist.
+func TestEnergyPolicyFrugalWithinBudget(t *testing.T) {
+	fleet := fleetOf(t, "i7-6700k", "gtx1080")
+	costs := fakeCosts{
+		timeNs:  map[string]float64{"i7-6700k": 100, "gtx1080": 10},
+		energyJ: map[string]float64{"i7-6700k": 1, "gtx1080": 5},
+	}
+	w := &Workload{Tasks: make([]Task, 4)}
+	for i := range w.Tasks {
+		w.Tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Benchmark: "crc", Size: "tiny"}
+	}
+	energy, err := LookupPolicy("energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loose, err := energy.Schedule(w, fleet, costs, Options{MakespanBudgetNs: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.TotalEnergyJ != 4 { // every task on the 1 J CPU
+		t.Fatalf("unconstrained energy %g J, want 4", loose.TotalEnergyJ)
+	}
+
+	tight, err := energy.Schedule(w, fleet, costs, Options{MakespanBudgetNs: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.MakespanNs > 110 {
+		t.Fatalf("makespan %g exceeds the feasible 110 ns budget", tight.MakespanNs)
+	}
+	if tight.TotalEnergyJ >= 20 { // not everything on the 5 J GPU
+		t.Fatalf("budgeted schedule spent %g J, expected some frugal placements", tight.TotalEnergyJ)
+	}
+}
+
+// TestCostProviderSources: measured cells answer as measured, unmeasured
+// devices fall back to the forest with the predicted flag, rows never
+// measured anywhere need EnsureProfiles.
+func TestCostProviderSources(t *testing.T) {
+	g := measure(t, []string{"crc", "fft"}, []string{"tiny"}, []string{"i7-6700k", "gtx1080"}, nil)
+	costs, err := NewCosts(g, testForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i7 := fleetOf(t, "i7-6700k")[0]
+	titanx := fleetOf(t, "titanx")[0]
+
+	c, err := costs.Cost("crc", "tiny", i7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source != SourceMeasured {
+		t.Fatalf("measured cell resolved as %s", c.Source)
+	}
+	m := g.Find("crc", "tiny", "i7-6700k")
+	if c.TimeNs != m.Kernel.Median || c.EnergyJ != m.Energy.Median {
+		t.Fatal("measured cost does not match the cell's medians")
+	}
+
+	c, err = costs.Cost("crc", "tiny", titanx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source != SourcePredicted {
+		t.Fatalf("unmeasured cell resolved as %s", c.Source)
+	}
+	if c.TimeNs <= 0 || c.EnergyJ <= 0 {
+		t.Fatalf("non-positive predicted cost: %+v", c)
+	}
+	if !costs.Measured("crc", "tiny", "i7-6700k") || costs.Measured("crc", "tiny", "titanx") {
+		t.Fatal("Measured() disagrees with the grid")
+	}
+
+	// nw/tiny was never measured on any device: error until characterised.
+	if _, err := costs.Cost("nw", "tiny", i7); err == nil {
+		t.Fatal("unmeasured row predicted without profiles")
+	}
+	w := &Workload{Tasks: []Task{{ID: "x", Benchmark: "nw", Size: "tiny"}}}
+	if missing := costs.MissingRows(w); !reflect.DeepEqual(missing, []string{"nw/tiny"}) {
+		t.Fatalf("MissingRows = %v", missing)
+	}
+	if err := costs.EnsureProfiles(context.Background(), suite.New(), testOptions(), w); err != nil {
+		t.Fatal(err)
+	}
+	if missing := costs.MissingRows(w); len(missing) != 0 {
+		t.Fatalf("MissingRows after EnsureProfiles = %v", missing)
+	}
+	c, err = costs.Cost("nw", "tiny", i7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source != SourcePredicted || c.TimeNs <= 0 {
+		t.Fatalf("characterised row predicted badly: %+v", c)
+	}
+}
+
+// TestPoliciesBeatRoundRobin: on measured costs over a heterogeneous fleet
+// (including the KNL, which round-robin blindly loads), the cost-aware
+// schedulers strictly win on makespan — the ISSUE's acceptance shape.
+func TestPoliciesBeatRoundRobin(t *testing.T) {
+	devices := []string{"i7-6700k", "gtx1080", "k20m", "knl-7210"}
+	g := measure(t, []string{"crc", "fft", "nw"}, []string{"tiny"}, devices, nil)
+	costs, err := NewCosts(g, testForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload(t)
+	fleet := fleetOf(t, devices...)
+
+	run := func(name string) *Schedule {
+		pol, err := LookupPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := pol.Schedule(w, fleet, costs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Slots) != len(w.Tasks) {
+			t.Fatalf("%s scheduled %d of %d tasks", name, len(s.Slots), len(w.Tasks))
+		}
+		if s.Measured != len(s.Slots) || s.Predicted != 0 {
+			t.Fatalf("%s on a fully measured grid used %d predictions", name, s.Predicted)
+		}
+		return s
+	}
+
+	rr := run("roundrobin")
+	for _, name := range []string{"greedy", "heft"} {
+		s := run(name)
+		if s.MakespanNs >= rr.MakespanNs {
+			t.Fatalf("%s makespan %.3g ns does not beat roundrobin %.3g ns", name, s.MakespanNs, rr.MakespanNs)
+		}
+	}
+	// HEFT places long tasks first; it must be at least as good as greedy's
+	// workload-order placement here.
+	if run("heft").MakespanNs > run("greedy").MakespanNs {
+		t.Log("note: heft behind greedy on this workload (allowed in general, unexpected here)")
+	}
+}
+
+// TestScheduleDeterministicAcrossWorkers: the full pipeline — grid → cost
+// model → every policy — yields a bitwise-identical Schedule no matter how
+// many workers trained the forests.
+func TestScheduleDeterministicAcrossWorkers(t *testing.T) {
+	devices := []string{"i7-6700k", "gtx1080", "k20m"}
+	g := measure(t, []string{"crc", "fft"}, []string{"tiny"}, devices, nil)
+	w := testWorkload(t)
+	// nw/tiny is unmeasured: predictions must be deterministic too.
+	fleet := fleetOf(t, devices...)
+
+	schedule := func(workers int) map[string][]byte {
+		cfg := testForest()
+		cfg.Workers = workers
+		costs, err := NewCosts(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := costs.EnsureProfiles(context.Background(), suite.New(), testOptions(), w); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		for _, name := range Policies() {
+			pol, err := LookupPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := pol.Schedule(w, fleet, costs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = buf
+		}
+		return out
+	}
+
+	seq := schedule(1)
+	par := schedule(8)
+	for _, name := range Policies() {
+		if !bytes.Equal(seq[name], par[name]) {
+			t.Fatalf("policy %s: schedule differs between 1 and 8 training workers", name)
+		}
+	}
+}
+
+// storeStreamer adapts harness.Stream over a store-backed spec — the test
+// stand-in for opendwarfs.Session.Stream.
+func storeStreamer(st *store.Store) Streamer {
+	return func(ctx context.Context, benches, sizes, devices []string) (<-chan harness.Event, error) {
+		return harness.Stream(ctx, suite.New(), harness.GridSpec{
+			Benchmarks: benches,
+			Sizes:      sizes,
+			Devices:    devices,
+			Options:    testOptions(),
+			Workers:    2,
+			Store:      st,
+		})
+	}
+}
+
+// TestExecuteMeasuresExactlyScheduleCells: Execute's grid holds one
+// measurement per distinct schedule cell and nothing else.
+func TestExecuteMeasuresExactlyScheduleCells(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	devices := []string{"i7-6700k", "gtx1080"}
+	g := measure(t, []string{"crc", "fft"}, []string{"tiny"}, devices, st)
+	costs, err := NewCosts(g, testForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload(t)
+	if err := costs.EnsureProfiles(context.Background(), suite.New(), testOptions(), w); err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := LookupPolicy("heft")
+	s, err := pol.Schedule(w, fleetOf(t, devices...), costs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	executed, err := Execute(context.Background(), storeStreamer(st), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, sl := range s.Slots {
+		distinct[sl.Benchmark+"/"+sl.Size+"/"+sl.Device] = true
+	}
+	if executed.Cells() != len(distinct) {
+		t.Fatalf("executed %d cells, schedule has %d distinct", executed.Cells(), len(distinct))
+	}
+	for _, m := range executed.Measurements {
+		if !distinct[m.Benchmark+"/"+m.Size+"/"+m.Device.ID] {
+			t.Fatalf("executed %s/%s/%s, not in the schedule", m.Benchmark, m.Size, m.Device.ID)
+		}
+	}
+	// crc and fft cells were swept into the store above: store hits.
+	if executed.StoreHits == 0 {
+		t.Fatal("expected store hits for pre-measured cells")
+	}
+}
+
+// TestOnlineLoopRegretNonIncreasing is the ISSUE's convergence test: the
+// loop's incumbent oracle-regret never increases, predictions drain out of
+// the plan as executed cells land in the store, and later rounds are
+// served from it.
+func TestOnlineLoopRegretNonIncreasing(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	devices := []string{"i7-6700k", "gtx1080", "k20m", "knl-7210"}
+	benches := []string{"crc", "fft", "nw"}
+	// Ground truth: the full workload × fleet grid, persisted.
+	truth := measure(t, benches, []string{"tiny"}, devices, st)
+	truthCosts, err := NewCosts(truth, testForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload(t)
+	fleet := fleetOf(t, devices...)
+	pol, _ := LookupPolicy("heft")
+	oracle, err := Oracle(pol, w, fleet, truthCosts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loop's knowledge starts from two devices only; the other two are
+	// prediction territory until a round executes on them.
+	known := &harness.Grid{}
+	for _, m := range truth.Measurements {
+		if m.Device.ID == "i7-6700k" || m.Device.ID == "knl-7210" {
+			known.Measurements = append(known.Measurements, m)
+		}
+	}
+
+	res, err := OnlineLoop(context.Background(), LoopParams{
+		Stream:   storeStreamer(st),
+		Workload: w,
+		Fleet:    fleet,
+		Policy:   pol,
+		Forest:   testForest(),
+		Known:    known,
+		Oracle:   oracle,
+		Truth:    truthCosts,
+		Rounds:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("%d rounds", len(res.Rounds))
+	}
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].BestRegretPct > res.Rounds[i-1].BestRegretPct {
+			t.Fatalf("incumbent regret rose: round %d %.3f%% -> round %d %.3f%%",
+				i-1, res.Rounds[i-1].BestRegretPct, i, res.Rounds[i].BestRegretPct)
+		}
+	}
+	first, last := res.Rounds[0], res.Rounds[len(res.Rounds)-1]
+	if last.Predicted > first.Predicted {
+		t.Fatalf("predictions grew across rounds: %d -> %d", first.Predicted, last.Predicted)
+	}
+	// Round 2+ re-executes cells the earlier rounds persisted: store hits.
+	if len(res.Rounds) > 1 && res.Rounds[1].StoreHits == 0 {
+		t.Fatal("round 2 expected store hits from round 1's execution")
+	}
+	// Every cell the rounds measured landed in the knowledge grid.
+	if res.Grid.Cells() < known.Cells() {
+		t.Fatal("knowledge grid shrank")
+	}
+	// After any round, that round's schedule cells are all measured, so its
+	// retimed makespan is exact; the final round must be within a loose
+	// factor of the oracle (the shape the CI sched-smoke asserts at 25%).
+	if last.RegretPct > 100 {
+		t.Fatalf("final-round regret %.1f%% is wildly off the oracle", last.RegretPct)
+	}
+}
+
+// TestOnlineLoopCarriesCharacterisations: a workload row with no measured
+// cell on any device schedules in round 0 when the seeding provider's
+// EnsureProfiles characterisation is donated via LoopParams.Costs — and
+// fails loudly without it.
+func TestOnlineLoopCarriesCharacterisations(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	devices := []string{"i7-6700k", "gtx1080"}
+	known := measure(t, []string{"crc", "fft"}, []string{"tiny"}, devices, st)
+	w := testWorkload(t) // includes nw/tiny: measured nowhere
+	fleet := fleetOf(t, devices...)
+	pol, _ := LookupPolicy("heft")
+
+	params := LoopParams{
+		Stream: storeStreamer(st), Workload: w, Fleet: fleet,
+		Policy: pol, Forest: testForest(), Known: known, Rounds: 2,
+	}
+	if _, err := OnlineLoop(context.Background(), params); err == nil {
+		t.Fatal("loop scheduled an uncharacterised row")
+	}
+
+	seed, err := NewCosts(known, testForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.EnsureProfiles(context.Background(), suite.New(), testOptions(), w); err != nil {
+		t.Fatal(err)
+	}
+	params.Costs = seed
+	res, err := OnlineLoop(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].Predicted == 0 {
+		t.Fatal("round 0 should have predicted the uncharacterised row's cells")
+	}
+	// Round 0 executed nw/tiny, so round 1 resolves it measured.
+	if res.Rounds[1].Predicted != 0 {
+		t.Fatalf("round 1 still predicting %d cells", res.Rounds[1].Predicted)
+	}
+}
+
+// TestFleetRejectsDuplicates: a repeated device ID would evaluate as two
+// physical cards; it must fail, not silently halve the makespan.
+func TestFleetRejectsDuplicates(t *testing.T) {
+	if _, err := Fleet([]string{"gtx1080", "i7-6700k", "gtx1080"}); err == nil {
+		t.Fatal("duplicate fleet device accepted")
+	}
+	fleet, err := Fleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != len(sim.Devices()) {
+		t.Fatalf("empty fleet resolves to %d devices", len(fleet))
+	}
+}
+
+// TestOracleRequiresMeasured: the oracle refuses predicted costs rather
+// than silently grading against them.
+func TestOracleRequiresMeasured(t *testing.T) {
+	g := measure(t, []string{"crc", "fft", "nw"}, []string{"tiny"}, []string{"i7-6700k", "gtx1080"}, nil)
+	costs, err := NewCosts(g, testForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload(t)
+	pol, _ := LookupPolicy("heft")
+	// titanx is unmeasured → predicted → oracle must refuse.
+	if _, err := Oracle(pol, w, fleetOf(t, "i7-6700k", "titanx"), costs, Options{}); err == nil {
+		t.Fatal("oracle accepted predicted costs")
+	}
+	if _, err := Oracle(pol, w, fleetOf(t, "i7-6700k", "gtx1080"), costs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineExports: CSV and JSONL exports are well-formed and complete.
+func TestTimelineExports(t *testing.T) {
+	fleet := fleetOf(t, "i7-6700k", "gtx1080")
+	costs := fakeCosts{
+		timeNs:  map[string]float64{"i7-6700k": 100, "gtx1080": 60},
+		energyJ: map[string]float64{"i7-6700k": 1, "gtx1080": 4},
+	}
+	w := testWorkload(t)
+	pol, _ := LookupPolicy("heft")
+	s, err := pol.Schedule(w, fleet, costs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := WriteTimelineCSV(&csvBuf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 1+len(w.Tasks) {
+		t.Fatalf("CSV has %d lines, want header + %d slots", len(lines), len(w.Tasks))
+	}
+
+	var jsonlBuf bytes.Buffer
+	if err := WriteTimelineJSONL(&jsonlBuf, s); err != nil {
+		t.Fatal(err)
+	}
+	jl := strings.Split(strings.TrimSpace(jsonlBuf.String()), "\n")
+	if len(jl) != 1+len(w.Tasks) {
+		t.Fatalf("JSONL has %d lines, want summary + %d slots", len(jl), len(w.Tasks))
+	}
+	var slot Slot
+	if err := json.Unmarshal([]byte(jl[1]), &slot); err != nil {
+		t.Fatalf("slot line does not decode: %v", err)
+	}
+}

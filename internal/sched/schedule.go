@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"fmt"
+
+	"opendwarfs/internal/sim"
+)
+
+// Slot is one placed task on the schedule's timeline.
+type Slot struct {
+	TaskID    string  `json:"task"`
+	Benchmark string  `json:"benchmark"`
+	Size      string  `json:"size"`
+	Device    string  `json:"device"`
+	StartNs   float64 `json:"start_ns"`
+	FinishNs  float64 `json:"finish_ns"`
+	TimeNs    float64 `json:"time_ns"`
+	EnergyJ   float64 `json:"energy_j"`
+	// Source says whether this slot's cost was measured or predicted at
+	// scheduling time.
+	Source Source `json:"source"`
+	// DeadlineMiss is set when the task has a deadline and FinishNs
+	// exceeds it; EnergyOver when it has an energy budget and EnergyJ
+	// exceeds that.
+	DeadlineMiss bool `json:"deadline_miss,omitempty"`
+	EnergyOver   bool `json:"energy_over,omitempty"`
+}
+
+// Lane summarises one fleet device's timeline.
+type Lane struct {
+	Device string `json:"device"`
+	Class  string `json:"class"`
+	Tasks  int    `json:"tasks"`
+	// BusyNs is the device's total task time; for a device with at least
+	// one task, IdleEnergyJ charges its idle power for the remainder of
+	// the makespan (it must stay up until the batch completes). Unused
+	// devices carry no idle cost — the scheduler is free not to power them.
+	BusyNs      float64 `json:"busy_ns"`
+	IdleEnergyJ float64 `json:"idle_energy_j"`
+}
+
+// Schedule is a fully evaluated placement of a workload onto a fleet:
+// slots in placement order (per-device order is execution order), lane
+// summaries in fleet order, and the aggregate figures of merit.
+type Schedule struct {
+	Policy string `json:"policy"`
+	Slots  []Slot `json:"slots"`
+	Lanes  []Lane `json:"lanes"`
+
+	MakespanNs     float64 `json:"makespan_ns"`
+	TotalEnergyJ   float64 `json:"total_energy_j"` // active (task) energy
+	IdleEnergyJ    float64 `json:"idle_energy_j"`  // summed over used lanes
+	DeadlineMisses int     `json:"deadline_misses"`
+	EnergyOverruns int     `json:"energy_overruns"`
+	// Measured and Predicted count the cost sources behind the slots.
+	Measured  int `json:"measured"`
+	Predicted int `json:"predicted"`
+
+	// Retained for Retime: the placement this schedule evaluates.
+	workload *Workload
+	fleet    []*sim.DeviceSpec
+	places   []placement
+}
+
+// placement is one policy decision: workload task index → fleet device
+// index, in the order the policy placed them (per-device FIFO order).
+type placement struct {
+	task, dev int
+}
+
+// costMatrix resolves every (task, device) cost once, sharing rows between
+// tasks of the same benchmark × size.
+func costMatrix(w *Workload, fleet []*sim.DeviceSpec, costs CostProvider) ([][]Cost, error) {
+	byRow := map[string][]Cost{}
+	matrix := make([][]Cost, len(w.Tasks))
+	for i := range w.Tasks {
+		t := &w.Tasks[i]
+		key := rowKey(t.Benchmark, t.Size)
+		row, ok := byRow[key]
+		if !ok {
+			row = make([]Cost, len(fleet))
+			for d, dev := range fleet {
+				c, err := costs.Cost(t.Benchmark, t.Size, dev)
+				if err != nil {
+					return nil, err
+				}
+				if c.TimeNs <= 0 {
+					return nil, fmt.Errorf("sched: non-positive cost for %s/%s on %s", t.Benchmark, t.Size, dev.ID)
+				}
+				row[d] = c
+			}
+			byRow[key] = row
+		}
+		matrix[i] = row
+	}
+	return matrix, nil
+}
+
+// evaluate turns a placement into a Schedule under the given cost matrix:
+// each device executes its tasks in placement order back to back
+// (discrete-event with release time zero and no preemption), so a slot
+// starts when its device finishes the previous one.
+func evaluate(policy string, w *Workload, fleet []*sim.DeviceSpec, matrix [][]Cost, places []placement) *Schedule {
+	s := &Schedule{
+		Policy:   policy,
+		Slots:    make([]Slot, 0, len(places)),
+		workload: w,
+		fleet:    fleet,
+		places:   append([]placement(nil), places...),
+	}
+	ready := make([]float64, len(fleet))
+	busy := make([]float64, len(fleet))
+	count := make([]int, len(fleet))
+	for _, p := range places {
+		t := &w.Tasks[p.task]
+		c := matrix[p.task][p.dev]
+		slot := Slot{
+			TaskID:    t.ID,
+			Benchmark: t.Benchmark,
+			Size:      t.Size,
+			Device:    fleet[p.dev].ID,
+			StartNs:   ready[p.dev],
+			FinishNs:  ready[p.dev] + c.TimeNs,
+			TimeNs:    c.TimeNs,
+			EnergyJ:   c.EnergyJ,
+			Source:    c.Source,
+		}
+		ready[p.dev] = slot.FinishNs
+		busy[p.dev] += c.TimeNs
+		count[p.dev]++
+		if t.DeadlineNs > 0 && slot.FinishNs > t.DeadlineNs {
+			slot.DeadlineMiss = true
+			s.DeadlineMisses++
+		}
+		if t.EnergyBudgetJ > 0 && slot.EnergyJ > t.EnergyBudgetJ {
+			slot.EnergyOver = true
+			s.EnergyOverruns++
+		}
+		if c.Source == SourceMeasured {
+			s.Measured++
+		} else {
+			s.Predicted++
+		}
+		s.TotalEnergyJ += c.EnergyJ
+		if slot.FinishNs > s.MakespanNs {
+			s.MakespanNs = slot.FinishNs
+		}
+		s.Slots = append(s.Slots, slot)
+	}
+	for d, dev := range fleet {
+		lane := Lane{Device: dev.ID, Class: dev.Class.String(), Tasks: count[d], BusyNs: busy[d]}
+		if count[d] > 0 {
+			lane.IdleEnergyJ = (s.MakespanNs - busy[d]) * 1e-9 * dev.IdleWatts
+			s.IdleEnergyJ += lane.IdleEnergyJ
+		}
+		s.Lanes = append(s.Lanes, lane)
+	}
+	return s
+}
+
+// Retime re-evaluates this schedule's placement — same tasks, same
+// devices, same per-device order — under another cost provider. Retiming
+// a prediction-built schedule under measured costs yields its actual
+// makespan, the numerator of oracle regret.
+func (s *Schedule) Retime(costs CostProvider) (*Schedule, error) {
+	matrix, err := costMatrix(s.workload, s.fleet, costs)
+	if err != nil {
+		return nil, err
+	}
+	return evaluate(s.Policy, s.workload, s.fleet, matrix, s.places), nil
+}
+
+// Devices returns the distinct devices the schedule actually uses, in
+// fleet order.
+func (s *Schedule) Devices() []string {
+	var out []string
+	for _, l := range s.Lanes {
+		if l.Tasks > 0 {
+			out = append(out, l.Device)
+		}
+	}
+	return out
+}
+
+// Regret is the headline comparison against an oracle schedule: how far
+// (in percent) this schedule's makespan is above the oracle's. Both
+// schedules should be timed under the same (measured) costs — retimed via
+// Retime when built on predictions. A slightly negative regret is
+// possible: the policies are heuristics, so a prediction-built placement
+// can beat the same heuristic run on measured costs.
+func Regret(s, oracle *Schedule) float64 {
+	return 100 * (s.MakespanNs - oracle.MakespanNs) / oracle.MakespanNs
+}
+
+// matrixCosts serves a pre-resolved cost matrix back to a policy, so
+// validation and scheduling share one resolution.
+type matrixCosts struct {
+	rows map[string][]Cost // rowKey → per-fleet-index costs
+	idx  map[string]int    // device ID → fleet index
+}
+
+func (m matrixCosts) Cost(bench, size string, dev *sim.DeviceSpec) (Cost, error) {
+	row, ok := m.rows[rowKey(bench, size)]
+	if !ok {
+		return Cost{}, fmt.Errorf("sched: %s/%s not in the resolved matrix", bench, size)
+	}
+	d, ok := m.idx[dev.ID]
+	if !ok {
+		return Cost{}, fmt.Errorf("sched: device %s not in the resolved matrix", dev.ID)
+	}
+	return row[d], nil
+}
+
+// Oracle schedules the workload with the given policy on measured costs —
+// the reference a prediction-guided schedule's regret is charged against.
+// The provider must resolve every workload × fleet cell as measured;
+// unmeasured cells are an error, not a silent fallback. The matrix is
+// resolved once: the validated costs are handed to the policy as-is.
+func Oracle(pol Policy, w *Workload, fleet []*sim.DeviceSpec, measured CostProvider, opt Options) (*Schedule, error) {
+	matrix, err := costMatrix(w, fleet, measured)
+	if err != nil {
+		return nil, err
+	}
+	mc := matrixCosts{rows: map[string][]Cost{}, idx: map[string]int{}}
+	for d, dev := range fleet {
+		mc.idx[dev.ID] = d
+	}
+	for i := range matrix {
+		for d := range matrix[i] {
+			if matrix[i][d].Source != SourceMeasured {
+				return nil, fmt.Errorf("sched: oracle requires measured costs, but %s/%s on %s is %s",
+					w.Tasks[i].Benchmark, w.Tasks[i].Size, fleet[d].ID, matrix[i][d].Source)
+			}
+		}
+		mc.rows[rowKey(w.Tasks[i].Benchmark, w.Tasks[i].Size)] = matrix[i]
+	}
+	return pol.Schedule(w, fleet, mc, opt)
+}

@@ -201,6 +201,21 @@ func Lookup(id string) (*DeviceSpec, error) {
 	return nil, fmt.Errorf("sim: unknown device %q (known: %v)", id, known)
 }
 
+// LookupAll resolves a list of IDs (or full names) in order — the fleet
+// form used by the scheduler. The first unknown entry fails with the
+// sorted catalogue, exactly like Lookup.
+func LookupAll(ids []string) ([]*DeviceSpec, error) {
+	out := make([]*DeviceSpec, 0, len(ids))
+	for _, id := range ids {
+		d, err := Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
 // ByClass returns all devices of a class, preserving catalogue order.
 func ByClass(c Class) []*DeviceSpec {
 	var out []*DeviceSpec

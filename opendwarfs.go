@@ -21,8 +21,6 @@
 package opendwarfs
 
 import (
-	"context"
-
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/opencl"
@@ -38,14 +36,6 @@ type Result = harness.Measurement
 
 // Grid re-exports a measurement collection.
 type Grid = harness.Grid
-
-// GridSpec re-exports the grid selector.
-//
-// Deprecated: build a Session with NewSession(WithWorkers(...),
-// WithStore(...), ...) and pass a Selection to Session.RunGrid or
-// Session.Stream instead. GridSpec remains for one release to keep the old
-// RunGrid wrapper compiling.
-type GridSpec = harness.GridSpec
 
 // Device re-exports the OpenCL-style device handle.
 type Device = opencl.Device
@@ -72,27 +62,3 @@ func LookupDevice(id string) (*Device, error) { return opencl.LookupDevice(id) }
 
 // Sizes returns the four canonical problem sizes of §4.4.
 func Sizes() []string { return dwarfs.Sizes() }
-
-// Run measures one benchmark at one size on one device.
-//
-// Deprecated: use NewSession and Session.Run, which honour cancellation
-// and can serve from / persist to a result store. This wrapper runs with
-// context.Background().
-func Run(bench, size, deviceID string, opt Options) (*Result, error) {
-	s, err := NewSession(WithOptions(opt))
-	if err != nil {
-		return nil, err
-	}
-	return s.Run(context.Background(), bench, size, deviceID)
-}
-
-// RunGrid measures a slice of the benchmark × size × device space.
-//
-// Deprecated: use NewSession and Session.RunGrid (or Session.Stream for
-// typed per-cell events), which honour cancellation and return a valid
-// partial grid when interrupted. This wrapper runs with
-// context.Background(); its spec.Progress writer keeps working but is
-// itself deprecated in favour of the event stream.
-func RunGrid(spec GridSpec) (*Grid, error) {
-	return harness.RunGrid(context.Background(), suite.New(), spec)
-}

@@ -1,13 +1,17 @@
 package opendwarfs
 
 import (
+	"context"
 	"testing"
 )
 
-func quickOpts() Options {
-	o := DefaultOptions()
-	o.Samples = 8
-	return o
+func quickSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	s, err := NewSession(append([]Option{WithSamples(8)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestSuiteComposition(t *testing.T) {
@@ -42,7 +46,8 @@ func TestDevicesComposition(t *testing.T) {
 }
 
 func TestRunFacade(t *testing.T) {
-	res, err := Run("csr", "tiny", "i7-6700k", quickOpts())
+	sess := quickSession(t)
+	res, err := sess.Run(context.Background(), "csr", "tiny", "i7-6700k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,26 +60,25 @@ func TestRunFacade(t *testing.T) {
 }
 
 func TestRunFacadeErrors(t *testing.T) {
-	if _, err := Run("nope", "tiny", "i7-6700k", quickOpts()); err == nil {
+	sess := quickSession(t)
+	ctx := context.Background()
+	if _, err := sess.Run(ctx, "nope", "tiny", "i7-6700k"); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if _, err := Run("csr", "tiny", "nope", quickOpts()); err == nil {
+	if _, err := sess.Run(ctx, "csr", "tiny", "nope"); err == nil {
 		t.Fatal("unknown device accepted")
 	}
-	if _, err := Run("nqueens", "large", "i7-6700k", quickOpts()); err == nil {
+	if _, err := sess.Run(ctx, "nqueens", "large", "i7-6700k"); err == nil {
 		t.Fatal("unsupported size accepted")
 	}
 }
 
 func TestRunGridFacade(t *testing.T) {
-	opt := quickOpts()
-	opt.MaxFunctionalOps = 0
-	opt.Verify = false
-	g, err := RunGrid(GridSpec{
+	sess := quickSession(t, WithFunctionalBudget(0))
+	g, err := sess.RunGrid(context.Background(), Selection{
 		Benchmarks: []string{"fft"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"i7-6700k", "gtx1080"},
-		Options:    opt,
 	})
 	if err != nil {
 		t.Fatal(err)

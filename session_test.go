@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"testing"
+
+	"opendwarfs/internal/harness"
 )
 
 func TestNewSessionOptionValidation(t *testing.T) {
@@ -44,13 +46,21 @@ func TestSessionRun(t *testing.T) {
 		t.Fatalf("tiny csr should verify with timing: %+v", res)
 	}
 
-	// The session result matches the deprecated facade path exactly.
-	old, err := Run("csr", "tiny", "i7-6700k", sess.Options())
+	// The session result matches the bare harness path exactly.
+	b, err := Suite().Get("csr")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if old.Kernel.Median != res.Kernel.Median {
-		t.Fatal("Session.Run and deprecated Run disagree")
+	dev, err := LookupDevice("i7-6700k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := harness.Run(ctx, b, "tiny", dev, sess.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Kernel.Median != res.Kernel.Median {
+		t.Fatal("Session.Run and harness.Run disagree")
 	}
 
 	if _, err := sess.Run(ctx, "nope", "tiny", "i7-6700k"); err == nil {
