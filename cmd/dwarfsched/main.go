@@ -67,10 +67,23 @@ func main() {
 		csvPath      = flag.String("csv", "", "write the primary schedule's timeline as CSV")
 		jsonlPath    = flag.String("jsonl", "", "write the primary schedule's timeline as JSONL")
 		progress     = flag.Bool("progress", false, "print per-cell measurement progress")
+
+		chaos          = flag.Bool("chaos", false, "inject deterministic faults into every measurement (see -chaos-*)")
+		chaosSeed      = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
+		chaosTransient = flag.Float64("chaos-transient", 0.2, "chaos: per-attempt transient fault probability")
+		chaosDrop      = flag.String("chaos-drop", "", "chaos: comma-separated devices that are permanently down")
+		chaosStraggler = flag.Float64("chaos-straggler", 0, "chaos: per-cell straggler probability")
+		chaosFactor    = flag.Float64("chaos-straggler-factor", 4, "chaos: straggler slowdown factor")
+		retries        = flag.Int("retries", 0, "measurement attempts per cell (0/1 = no retry)")
+		retryBackoff   = flag.Duration("retry-backoff", 0, "base backoff before a retry (doubles per attempt)")
+		assertComplete = flag.Bool("assert-complete", false, "fail unless every reachable cell of the final schedule was measured and no failure leaked onto a surviving device (requires -rounds >= 1)")
 	)
 	flag.Parse()
 	if *assertRegret > 0 {
 		*oracle = true
+	}
+	if *assertComplete && *rounds <= 0 {
+		fatal(fmt.Errorf("-assert-complete requires -rounds >= 1"))
 	}
 
 	reg := suite.New()
@@ -113,6 +126,21 @@ func main() {
 	}
 	if *storeDir != "" {
 		sessOpts = append(sessOpts, opendwarfs.WithStore(*storeDir))
+	}
+	if *chaos {
+		sessOpts = append(sessOpts, opendwarfs.WithFaults(&opendwarfs.FaultPlan{
+			Seed:            *chaosSeed,
+			TransientRate:   *chaosTransient,
+			Drop:            split(*chaosDrop),
+			StragglerRate:   *chaosStraggler,
+			StragglerFactor: *chaosFactor,
+		}))
+	}
+	if *retries > 0 || *retryBackoff > 0 {
+		sessOpts = append(sessOpts, opendwarfs.WithRetry(opendwarfs.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *retryBackoff,
+		}))
 	}
 	sess, err := opendwarfs.NewSession(sessOpts...)
 	if err != nil {
@@ -183,6 +211,11 @@ func main() {
 	loopKnown.Merge(known)
 	var oracleSchedule *sched.Schedule
 	var truthCosts *sched.Costs
+	// Devices the sweeps quarantine shrink the oracle's fleet: an oracle
+	// cannot place work on a device that cannot be measured. The scheduler
+	// proper still plans over the full fleet — discovering the dropout and
+	// migrating around it is exactly what the repair path is for.
+	oracleFleet := fleet
 	if *oracle {
 		fleetIDs := make([]string, len(fleet))
 		for i, d := range fleet {
@@ -193,10 +226,27 @@ func main() {
 			fatal(err)
 		}
 		known.Merge(truth)
+		if dead := known.Quarantined; len(dead) > 0 {
+			deadSet := map[string]bool{}
+			for _, d := range dead {
+				deadSet[d] = true
+			}
+			oracleFleet = fleet[:0:0]
+			for _, d := range fleet {
+				if !deadSet[d.ID] {
+					oracleFleet = append(oracleFleet, d)
+				}
+			}
+			if len(oracleFleet) == 0 {
+				fatal(fmt.Errorf("every fleet device is quarantined: %v", dead))
+			}
+			fmt.Printf("\nQuarantined during measurement: %s; oracle graded over the %d survivors\n",
+				strings.Join(dead, ", "), len(oracleFleet))
+		}
 		if truthCosts, err = sched.NewCosts(known, cfg); err != nil {
 			fatal(err)
 		}
-		if oracleSchedule, err = sched.Oracle(primary, w, fleet, truthCosts, schedOpt); err != nil {
+		if oracleSchedule, err = sched.Oracle(primary, w, oracleFleet, truthCosts, schedOpt); err != nil {
 			fatal(err)
 		}
 	}
@@ -216,8 +266,27 @@ func main() {
 		if oracleSchedule != nil {
 			regret = res.Rounds[len(res.Rounds)-1].BestRegretPct
 		}
+		if repairs, migrated, retried := loopFaultTotals(res); repairs > 0 || retried > 0 {
+			fmt.Printf("\nFault handling: %d repair pass(es), %d task(s) migrated, %d retry(ies); quarantined: %s\n",
+				repairs, migrated, retried, orNone(res.Quarantined))
+		}
+		if *assertComplete {
+			if err := checkComplete(res); err != nil {
+				fatal(err)
+			}
+			fmt.Println("completeness: every reachable cell of the final schedule is measured; no failure on a surviving device")
+		}
 	} else if oracleSchedule != nil {
-		actual, err := primarySchedule.Retime(truthCosts)
+		// The prediction-built schedule may place tasks on devices the
+		// truth sweep just quarantined; migrate those slots before grading,
+		// exactly as the execution path would.
+		graded := primarySchedule
+		if len(known.Quarantined) > 0 {
+			if graded, err = primarySchedule.Repair(known.Quarantined, primary, costs, schedOpt); err != nil {
+				fatal(err)
+			}
+		}
+		actual, err := graded.Retime(truthCosts)
 		if err != nil {
 			fatal(err)
 		}
@@ -232,6 +301,56 @@ func main() {
 		}
 		fmt.Printf("%s regret %.2f%% within ceiling %.2f%%\n", primary.Name(), regret, *assertRegret)
 	}
+}
+
+// loopFaultTotals sums the online loop's per-round fault accounting.
+func loopFaultTotals(res *sched.LoopResult) (repairs, migrated, retried int) {
+	for _, r := range res.Rounds {
+		repairs += r.Repairs
+		migrated += r.MigratedTasks
+		retried += r.Retries
+	}
+	return
+}
+
+func orNone(devs []string) string {
+	if len(devs) == 0 {
+		return "none"
+	}
+	return strings.Join(devs, ", ")
+}
+
+// checkComplete is the -assert-complete gate over an online-loop result:
+// every cell of the final round's (possibly repaired) schedule must be
+// measured in the loop's knowledge grid, and no cell may have failed on a
+// device that was not quarantined — a chaos sweep completes every
+// reachable cell or the gate fails.
+func checkComplete(res *sched.LoopResult) error {
+	dead := map[string]bool{}
+	for _, d := range res.Quarantined {
+		dead[d] = true
+	}
+	final := res.Rounds[len(res.Rounds)-1].Schedule
+	for _, sl := range final.Slots {
+		if dead[sl.Device] {
+			return fmt.Errorf("final schedule places %s on quarantined device %s", sl.TaskID, sl.Device)
+		}
+		if res.Grid.Find(sl.Benchmark, sl.Size, sl.Device) == nil {
+			return fmt.Errorf("reachable cell %s/%s/%s was never measured", sl.Benchmark, sl.Size, sl.Device)
+		}
+	}
+	for _, f := range res.Grid.Failed {
+		if !dead[f.Device] {
+			return fmt.Errorf("cell %s/%s failed on surviving device %s after %d attempt(s): %s",
+				f.Benchmark, f.Size, f.Device, f.Attempts, f.Reason)
+		}
+	}
+	for _, m := range res.Grid.Measurements {
+		if dead[m.Device.ID] {
+			return fmt.Errorf("measurement of %s/%s leaked onto quarantined device %s", m.Benchmark, m.Size, m.Device.ID)
+		}
+	}
+	return nil
 }
 
 // buildWorkload assembles the workload from the JSON spec, the inline

@@ -15,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"opendwarfs/internal/faults"
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/suite"
 )
@@ -41,6 +43,13 @@ type jobRequest struct {
 	Samples    int      `json:"samples,omitempty"`
 	Seed       int64    `json:"seed,omitempty"`
 	Workers    int      `json:"workers,omitempty"`
+	// Retries sets the per-cell attempt count (with BackoffMs the base
+	// backoff) — useful against a chaos plan; harmless without one.
+	Retries   int     `json:"retries,omitempty"`
+	BackoffMs float64 `json:"backoff_ms,omitempty"`
+	// Chaos, when set, injects deterministic faults into the job's
+	// measurements — the server-side face of the fault-injection layer.
+	Chaos *faults.Plan `json:"chaos,omitempty"`
 }
 
 // wireEvent is the SSE/JSON form of one harness event: the summary fields
@@ -56,6 +65,10 @@ type wireEvent struct {
 	Hits      int     `json:"store_hits"`
 	Misses    int     `json:"store_misses"`
 	MedianNs  float64 `json:"median_ns,omitempty"`
+	Attempt   int     `json:"attempt,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	Failed    int     `json:"failed,omitempty"`
 	State     string  `json:"state,omitempty"` // terminal job state, grid_done only
 	Error     string  `json:"error,omitempty"`
 }
@@ -69,23 +82,36 @@ type job struct {
 	cancel  context.CancelFunc
 	started time.Time
 
-	mu       sync.Mutex
-	state    jobState
-	events   []wireEvent
-	done     int
-	total    int
-	hits     int
-	misses   int
-	errMsg   string
-	finished time.Time
-	notify   chan struct{}
+	mu          sync.Mutex
+	state       jobState
+	events      []wireEvent
+	done        int
+	total       int
+	hits        int
+	misses      int
+	retries     int
+	failed      int
+	quarantined []string
+	errMsg      string
+	finished    time.Time
+	notify      chan struct{}
+}
+
+// updateCountersLocked mirrors an event's cumulative counters into the
+// status head. Callers hold j.mu.
+func (j *job) updateCountersLocked(ev wireEvent) {
+	j.done, j.total = ev.Done, ev.Total
+	j.hits, j.misses = ev.Hits, ev.Misses
+	j.retries, j.failed = ev.Retries, ev.Failed
+	if ev.Kind == string(harness.EventDeviceQuarantined) {
+		j.quarantined = append(j.quarantined, ev.Device)
+	}
 }
 
 func (j *job) append(ev wireEvent) {
 	j.mu.Lock()
 	j.events = append(j.events, ev)
-	j.done, j.total = ev.Done, ev.Total
-	j.hits, j.misses = ev.Hits, ev.Misses
+	j.updateCountersLocked(ev)
 	close(j.notify)
 	j.notify = make(chan struct{})
 	j.mu.Unlock()
@@ -97,8 +123,7 @@ func (j *job) finish(state jobState, errMsg string, ev wireEvent) {
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	j.events = append(j.events, ev)
-	j.done, j.total = ev.Done, ev.Total
-	j.hits, j.misses = ev.Hits, ev.Misses
+	j.updateCountersLocked(ev)
 	close(j.notify)
 	j.notify = make(chan struct{})
 	j.mu.Unlock()
@@ -132,6 +157,15 @@ func (j *job) status() map[string]any {
 		"events":       len(j.events),
 		"started":      j.started.UTC().Format(time.RFC3339Nano),
 	}
+	if j.retries > 0 {
+		st["retries"] = j.retries
+	}
+	if j.failed > 0 {
+		st["failed"] = j.failed
+	}
+	if len(j.quarantined) > 0 {
+		st["quarantined"] = append([]string(nil), j.quarantined...)
+	}
 	if j.state != jobRunning {
 		st["finished"] = j.finished.UTC().Format(time.RFC3339Nano)
 		st["elapsed_ms"] = float64(j.finished.Sub(j.started)) / 1e6
@@ -154,6 +188,8 @@ func toWire(ev harness.Event) wireEvent {
 		Hits:      ev.Hits,
 		Misses:    ev.Misses,
 	}
+	w.Attempt, w.Reason = ev.Attempt, ev.Reason
+	w.Retries, w.Failed = ev.Retries, ev.Failed
 	if ev.Measurement != nil {
 		w.MedianNs = ev.Measurement.Kernel.Median
 	}
@@ -173,6 +209,16 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != 0 {
 		opt.Seed = req.Seed
 	}
+	if req.Chaos != nil {
+		if err := req.Chaos.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if req.Retries < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("negative retries %d", req.Retries))
+		return
+	}
 	spec := harness.GridSpec{
 		Benchmarks: req.Benchmarks,
 		Sizes:      req.Sizes,
@@ -180,6 +226,13 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		Options:    opt,
 		Workers:    req.Workers,
 		Store:      s.st,
+		Retry: harness.RetryPolicy{
+			MaxAttempts: req.Retries,
+			BaseBackoff: time.Duration(req.BackoffMs * float64(time.Millisecond)),
+		},
+	}
+	if req.Chaos != nil {
+		spec.Faults = req.Chaos
 	}
 
 	s.jobMu.Lock()
@@ -232,6 +285,9 @@ func (s *server) runJob(j *job, events <-chan harness.Event) {
 	defer j.cancel()
 	for ev := range events {
 		if ev.Kind != harness.EventGridDone {
+			if ev.Kind == harness.EventDeviceQuarantined {
+				s.quarantineDevice(ev.Device, ev.Reason)
+			}
 			j.append(toWire(ev))
 			continue
 		}
@@ -257,6 +313,7 @@ func (s *server) runJob(j *job, events <-chan harness.Event) {
 			// what actually completed and persisted before the failure.
 			j.mu.Lock()
 			wev.Done, wev.Hits, wev.Misses = j.done, j.hits, j.misses
+			wev.Retries, wev.Failed = j.retries, j.failed
 			j.mu.Unlock()
 		}
 		wev.State = string(state)
@@ -312,11 +369,17 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobEvents streams the job's event log as Server-Sent Events:
-// replay from the start, then follow live appends until the terminal
-// grid_done event or client disconnect. Each event goes out as
+// replay from the start — or, on reconnect, from the index after the
+// client's Last-Event-ID — then follow live appends until the terminal
+// grid_done event or client disconnect. Each event carries its log index
+// as the SSE id, so a dropped client resumes exactly where it left off:
 //
+//	id: 17
 //	event: cell_done
 //	data: {"kind":"cell_done","benchmark":...}
+//
+// While the job is quiet, a comment frame (": keep-alive") goes out every
+// keep-alive interval so proxies and clients see a live connection.
 func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupJob(w, r)
 	if j == nil {
@@ -327,13 +390,23 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
+	sent := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		n, err := strconv.Atoi(last)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid Last-Event-ID %q", last))
+			return
+		}
+		sent = n + 1
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	sent := 0
+	keepAlive := time.NewTicker(s.keepAlive)
+	defer keepAlive.Stop()
 	for {
 		tail, terminal, next := j.follow(sent)
 		for _, ev := range tail {
@@ -341,17 +414,22 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", sent, ev.Kind, data); err != nil {
 				return // client went away
 			}
 			sent++
 		}
 		flusher.Flush()
-		if terminal && func() bool { j.mu.Lock(); defer j.mu.Unlock(); return sent == len(j.events) }() {
+		if terminal && func() bool { j.mu.Lock(); defer j.mu.Unlock(); return sent >= len(j.events) }() {
 			return
 		}
 		select {
 		case <-next:
+		case <-keepAlive.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}

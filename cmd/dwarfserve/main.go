@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -165,17 +166,28 @@ type server struct {
 	jobsCancel context.CancelFunc
 	jobWG      sync.WaitGroup
 	draining   bool // set at shutdown: new jobs are rejected
+
+	// keepAlive is the SSE comment-frame interval (tests shrink it).
+	keepAlive time.Duration
+
+	// Devices quarantined by job executions (device → reason). /v1/schedule
+	// keeps them out of the default fleet and rejects explicit requests for
+	// them; healthz lists them.
+	quarMu      sync.Mutex
+	quarantined map[string]string
 }
 
 func cellID(bench, size, device string) string { return bench + "\x00" + size + "\x00" + device }
 
 func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server {
 	s := &server{
-		st:         st,
-		cfg:        cfg,
-		trainedGen: -1,
-		schedGen:   -1,
-		jobs:       make(map[string]*job),
+		st:          st,
+		cfg:         cfg,
+		trainedGen:  -1,
+		schedGen:    -1,
+		jobs:        make(map[string]*job),
+		keepAlive:   15 * time.Second,
+		quarantined: make(map[string]string),
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	s.setGrid(grid)
@@ -276,6 +288,25 @@ func summarize(m *harness.Measurement) cellSummary {
 	}
 }
 
+// quarantineDevice records a device-down verdict from a job execution.
+func (s *server) quarantineDevice(device, reason string) {
+	s.quarMu.Lock()
+	s.quarantined[device] = reason
+	s.quarMu.Unlock()
+}
+
+// quarantinedDevices returns the quarantine registry's device IDs, sorted.
+func (s *server) quarantinedDevices() []string {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	out := make([]string, 0, len(s.quarantined))
+	for d := range s.quarantined {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	cells := s.grid.Cells()
@@ -283,13 +314,17 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.jobMu.Lock()
 	jobs := len(s.jobs)
 	s.jobMu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":   "ok",
 		"cells":    cells,
 		"segments": s.st.Segments(),
 		"schema":   harness.StoreSchemaVersion,
 		"jobs":     jobs,
-	})
+	}
+	if quar := s.quarantinedDevices(); len(quar) > 0 {
+		resp["quarantined"] = quar
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {

@@ -56,10 +56,41 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Quarantined devices never receive work: an explicit fleet naming one
+	// is a conflict the client must resolve; the default (whole-catalogue)
+	// fleet silently shrinks around them.
+	s.quarMu.Lock()
+	quarantined := make(map[string]string, len(s.quarantined))
+	for d, reason := range s.quarantined {
+		quarantined[d] = reason
+	}
+	s.quarMu.Unlock()
+	if len(req.Devices) > 0 {
+		for _, d := range req.Devices {
+			if reason, ok := quarantined[d]; ok {
+				writeError(w, http.StatusConflict,
+					fmt.Sprintf("device %s is quarantined (%s); drop it from the fleet or restart the daemon", d, reason))
+				return
+			}
+		}
+	}
 	fleet, err := sched.Fleet(req.Devices)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if len(req.Devices) == 0 && len(quarantined) > 0 {
+		kept := fleet[:0:0]
+		for _, dev := range fleet {
+			if _, ok := quarantined[dev.ID]; !ok {
+				kept = append(kept, dev)
+			}
+		}
+		if len(kept) == 0 {
+			writeError(w, http.StatusServiceUnavailable, "every catalogue device is quarantined")
+			return
+		}
+		fleet = kept
 	}
 
 	s.mu.RLock()

@@ -32,7 +32,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"opendwarfs/internal/faults"
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/report"
 	"opendwarfs/internal/scibench"
@@ -56,6 +58,12 @@ func main() {
 		storeDir   = flag.String("store", "", "persistent result store directory: cached cells are read, missing cells measured and written")
 		assertHits = flag.Float64("assert-store-hits", -1, "fail unless the store hit rate is ≥ this percentage (requires -store)")
 		compact    = flag.Bool("compact", false, "compact the store into a single snapshot after the sweep (requires -store)")
+		retries    = flag.Int("retries", 0, "measurement attempts per cell (0/1 = no retry); cells that exhaust them are reported and skipped")
+		backoff    = flag.Duration("retry-backoff", 5*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
+		chaos      = flag.Bool("chaos", false, "inject deterministic faults into the sweep (see -chaos-* flags)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed: same seed, same faults, any worker count")
+		chaosRate  = flag.Float64("chaos-transient", 0.2, "per-attempt transient fault probability")
+		chaosDrop  = flag.String("chaos-drop", "", "comma-separated devices that fail permanently (quarantined on first touch)")
 	)
 	flag.Parse()
 	if *storeDir == "" && (*assertHits >= 0 || *compact) {
@@ -75,6 +83,15 @@ func main() {
 		Devices:    split(*devices),
 		Options:    opt,
 		Workers:    *parallel,
+		Retry:      harness.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *backoff},
+	}
+	if *chaos {
+		plan := &faults.Plan{Seed: *chaosSeed, TransientRate: *chaosRate, Drop: split(*chaosDrop)}
+		if err := plan.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfsweep:", err)
+			os.Exit(1)
+		}
+		spec.Faults = plan
 	}
 	var st *store.Store
 	if *storeDir != "" {
@@ -105,6 +122,15 @@ func main() {
 		switch ev.Kind {
 		case harness.EventCellDone, harness.EventStoreHit:
 			fmt.Println(ev.ProgressLine())
+		case harness.EventCellRetry:
+			fmt.Fprintf(os.Stderr, "retry %-8s %-7s %-12s attempt %d failed (%s); retrying\n",
+				ev.Benchmark, ev.Size, ev.Device, ev.Attempt, ev.Reason)
+		case harness.EventCellFailed:
+			fmt.Fprintf(os.Stderr, "FAILED %-8s %-7s %-12s after %d attempt(s): %s\n",
+				ev.Benchmark, ev.Size, ev.Device, ev.Attempt, ev.Reason)
+		case harness.EventDeviceQuarantined:
+			fmt.Fprintf(os.Stderr, "QUARANTINED %s: %s; remaining cells on it will fail fast\n",
+				ev.Device, ev.Reason)
 		case harness.EventGridDone:
 			grid, runErr = ev.Grid, ev.Err
 		}
@@ -124,6 +150,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n%d grid cells measured in %s\n", grid.Cells(), grid.Elapsed.Round(1e6))
+	// A grid with failed cells is still a valid (partial) sweep: report the
+	// holes and exit 0 — re-running against the same store backfills them.
+	if grid.Retries > 0 || len(grid.Failed) > 0 {
+		fmt.Printf("Fault summary: %d retry(ies), %d failed cell(s)", grid.Retries, len(grid.Failed))
+		if len(grid.Quarantined) > 0 {
+			fmt.Printf(", quarantined: %s", strings.Join(grid.Quarantined, ","))
+		}
+		fmt.Println()
+		for _, f := range grid.Failed {
+			fmt.Printf("  failed %-8s %-7s %-12s after %d attempt(s): %s\n",
+				f.Benchmark, f.Size, f.Device, f.Attempts, f.Reason)
+		}
+	}
 	if st != nil {
 		report.StoreStats(os.Stdout, grid)
 		if *compact {

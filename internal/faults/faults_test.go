@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Decisions must be pure functions of (seed, bench, size, device,
+// attempt): repeated calls, in any order, agree exactly.
+func TestPlanDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, TransientRate: 0.3, StragglerRate: 0.2, StragglerFactor: 3, PowerDropoutRate: 0.1, FlapRate: 0.05}
+	type cell struct {
+		bench, size, device string
+		attempt             int
+	}
+	var cells []cell
+	for _, b := range []string{"crc", "fft", "nw"} {
+		for _, d := range []string{"i7-6700k", "gtx1080", "k20m"} {
+			for a := 1; a <= 4; a++ {
+				cells = append(cells, cell{b, "tiny", d, a})
+			}
+		}
+	}
+	first := make([]Decision, len(cells))
+	for i, c := range cells {
+		first[i] = p.Decide(c.bench, c.size, c.device, c.attempt)
+	}
+	// Reverse order, fresh pass: identical verdicts.
+	for i := len(cells) - 1; i >= 0; i-- {
+		c := cells[i]
+		if got := p.Decide(c.bench, c.size, c.device, c.attempt); !reflect.DeepEqual(got, first[i]) {
+			t.Fatalf("decision for %+v changed across calls: %+v then %+v", c, first[i], got)
+		}
+	}
+}
+
+func TestPlanSeedDecorrelates(t *testing.T) {
+	a := &Plan{Seed: 1, TransientRate: 0.5}
+	b := &Plan{Seed: 2, TransientRate: 0.5}
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		bench := string(rune('a' + i%26))
+		same = a.Decide(bench, "tiny", "gtx1080", 1+i) == b.Decide(bench, "tiny", "gtx1080", 1+i)
+	}
+	if same {
+		t.Fatalf("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+func TestPlanDropIsPermanent(t *testing.T) {
+	p := &Plan{Seed: 1, Drop: []string{"k20m"}}
+	for attempt := 1; attempt <= 5; attempt++ {
+		if d := p.Decide("crc", "tiny", "k20m", attempt); !d.Dropped {
+			t.Fatalf("attempt %d on dropped device not Dropped: %+v", attempt, d)
+		}
+	}
+	if d := p.Decide("crc", "tiny", "gtx1080", 1); d.Dropped {
+		t.Fatalf("undropped device reported Dropped")
+	}
+}
+
+// The empirical transient frequency over many independent draws must sit
+// near the configured rate — the injector is a fault model, not a lottery.
+func TestPlanTransientRate(t *testing.T) {
+	p := &Plan{Seed: 3, TransientRate: 0.2}
+	n, hits := 5000, 0
+	for i := 0; i < n; i++ {
+		if p.Decide("bench", "size", "dev", i).Transient {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("empirical transient rate %.3f far from configured 0.2", got)
+	}
+}
+
+// A flap is device-wide: at a given attempt index every cell on the
+// device sees the same outage verdict.
+func TestPlanFlapCorrelatedAcrossCells(t *testing.T) {
+	p := &Plan{Seed: 11, FlapRate: 0.5}
+	flapped := false
+	for attempt := 1; attempt <= 32; attempt++ {
+		a := p.Decide("crc", "tiny", "gtx1080", attempt).Transient
+		b := p.Decide("fft", "huge", "gtx1080", attempt).Transient
+		if a != b {
+			t.Fatalf("attempt %d: flap verdict differs between cells on one device (%v vs %v)", attempt, a, b)
+		}
+		flapped = flapped || a
+	}
+	if !flapped {
+		t.Fatalf("FlapRate 0.5 never flapped in 32 attempts")
+	}
+}
+
+func TestPlanStragglerFactorDefault(t *testing.T) {
+	p := &Plan{Seed: 5, StragglerRate: 1}
+	d := p.Decide("crc", "tiny", "gtx1080", 1)
+	if d.SlowFactor != defaultStragglerFactor {
+		t.Fatalf("SlowFactor = %g, want default %d", d.SlowFactor, defaultStragglerFactor)
+	}
+	p.StragglerFactor = 2.5
+	if d := p.Decide("crc", "tiny", "gtx1080", 1); d.SlowFactor != 2.5 {
+		t.Fatalf("SlowFactor = %g, want 2.5", d.SlowFactor)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := &Plan{Seed: 1, TransientRate: 0.2, StragglerFactor: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for _, bad := range []*Plan{
+		{TransientRate: -0.1},
+		{TransientRate: 1.5},
+		{FlapRate: 2},
+		{StragglerRate: -1},
+		{PowerDropoutRate: 1.01},
+		{StragglerFactor: 0.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid plan %+v accepted", bad)
+		}
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	p := &Plan{}
+	for i := 0; i < 100; i++ {
+		if d := p.Decide("b", "s", "d", i); !reflect.DeepEqual(d, Decision{}) {
+			t.Fatalf("zero plan produced %+v", d)
+		}
+	}
+}

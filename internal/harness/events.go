@@ -23,6 +23,19 @@ const (
 	// EventStoreHit fires instead of CellDone when the cell was decoded
 	// from the store rather than measured.
 	EventStoreHit EventKind = "store_hit"
+	// EventCellRetry fires when a measurement attempt failed for a
+	// retryable reason (transient fault, attempt timeout) and another
+	// attempt will follow. Attempt is the attempt that failed, Reason the
+	// fault class.
+	EventCellRetry EventKind = "cell_retry"
+	// EventCellFailed fires when a cell exhausted its attempts (or its
+	// device dropped out) and will not be measured. The cell is absent
+	// from the grid and from the store; the grid is still valid.
+	EventCellFailed EventKind = "cell_failed"
+	// EventDeviceQuarantined fires once per run for the first
+	// device-down fault on a device: every remaining cell on it will
+	// fail fast, and schedulers should migrate its slots.
+	EventDeviceQuarantined EventKind = "device_quarantined"
 	// EventGridDone is the final event of a run: totals, hit/miss counts,
 	// the (possibly partial) grid and the terminal error, if any.
 	EventGridDone EventKind = "grid_done"
@@ -56,6 +69,20 @@ type Event struct {
 	// no store is attached.
 	Hits   int `json:"store_hits"`
 	Misses int `json:"store_misses"`
+
+	// Attempt is the 1-based measurement attempt a fault event refers
+	// to: the attempt that failed on CellRetry, the final attempt on
+	// CellFailed. Zero elsewhere.
+	Attempt int `json:"attempt,omitempty"`
+	// Reason classifies the fault behind a CellRetry, CellFailed or
+	// DeviceQuarantined event ("transient fault", "attempt timeout",
+	// "device down").
+	Reason string `json:"reason,omitempty"`
+	// Retries and Failed are the run's cumulative fault counters at the
+	// time the event fired, maintained like Hits/Misses; both stay zero
+	// on a clean run.
+	Retries int `json:"retries,omitempty"`
+	Failed  int `json:"failed,omitempty"`
 
 	// Measurement is set on CellDone and StoreHit.
 	Measurement *Measurement `json:"-"`
@@ -131,6 +158,7 @@ func Stream(ctx context.Context, reg *dwarfs.Registry, spec GridSpec) (<-chan Ev
 		if g != nil {
 			done.Done = g.Cells()
 			done.Hits, done.Misses = g.StoreHits, g.StoreMisses
+			done.Retries, done.Failed = g.Retries, len(g.Failed)
 			done.Elapsed = g.Elapsed
 		}
 		if ctx.Err() == nil {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/faults"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/store"
 )
@@ -45,6 +47,15 @@ type GridSpec struct {
 	// unchanged grid re-swept against the same store is a 100% hit and
 	// produces value-identical measurements, hence byte-identical exports.
 	Store *store.Store
+	// Faults, when non-nil, injects deterministic failures into every
+	// measurement attempt (see internal/faults); nil — the default — is
+	// the clean simulator. Store hits bypass injection: a cell already
+	// persisted is served from disk without re-rolling its fate.
+	Faults faults.Injector
+	// Retry governs per-cell retry, backoff and attempt timeouts. The
+	// zero value makes exactly one attempt per cell with no timeout,
+	// reproducing the non-retrying harness exactly.
+	Retry RetryPolicy
 }
 
 // Grid is a collection of measurements with lookup helpers — the data
@@ -54,9 +65,30 @@ type Grid struct {
 	// StoreHits and StoreMisses count cells served from / measured into
 	// GridSpec.Store; both are zero when no store was attached.
 	StoreHits, StoreMisses int
+	// Failed lists the cells that exhausted their measurement attempts
+	// or sat on a dropped device, in grid order. A grid with failed
+	// cells is still valid — exactly like a cancelled partial grid, the
+	// measured cells all match the store and the failed ones were never
+	// persisted.
+	Failed []FailedCell
+	// Retries counts retried measurement attempts across the run.
+	Retries int
+	// Quarantined lists the devices that went down during the run,
+	// sorted; every planned cell on them appears in Failed.
+	Quarantined []string
 	// Elapsed is the wall-clock duration of the run that produced this
 	// grid (zero for grids assembled by hand or loaded from a store).
 	Elapsed time.Duration
+}
+
+// FailedCell records one cell the run could not measure: its coordinate,
+// how many attempts were made, and the final fault class.
+type FailedCell struct {
+	Benchmark string `json:"benchmark"`
+	Size      string `json:"size"`
+	Device    string `json:"device"`
+	Attempts  int    `json:"attempts"`
+	Reason    string `json:"reason"`
 }
 
 // HitRate returns the store hit percentage of the run (0 with no store).
@@ -216,13 +248,18 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 	var (
 		cache   = newPrepCache()
 		results = make([]*Measurement, len(cells))
+		failed  = make([]*FailedCell, len(cells))
 		errs    = make([]error, len(cells))
 		order   = dispatchOrder(len(cells), nDevices, workers)
 		next    atomic.Int64
 		done    atomic.Int64
 		hits    atomic.Int64
 		misses  atomic.Int64
+		retries atomic.Int64
+		failedN atomic.Int64
 		stopped atomic.Bool
+		quarMu  sync.Mutex
+		quarSet = map[string]bool{}
 		emitMu  sync.Mutex
 		wg      sync.WaitGroup
 	)
@@ -239,12 +276,30 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 			ev.Done = int(done.Add(1))
 			ev.Hits, ev.Misses = int(hits.Load()), int(misses.Load())
 		}
+		ev.Retries, ev.Failed = int(retries.Load()), int(failedN.Load())
 		if spec.Progress != nil {
 			if line := ev.ProgressLine(); line != "" {
 				fmt.Fprintln(spec.Progress, line)
 			}
 		}
 		emit(ev)
+	}
+
+	// quarantine marks a device down; the first caller per device emits
+	// the device_quarantined event. Subsequent cells on the device still
+	// roll their own (deterministic) attempt-1 verdict rather than
+	// consulting this set, so per-cell event sequences are identical at
+	// every worker count — the set exists for the single event and the
+	// grid's Quarantined listing, not for control flow.
+	quarantine := func(dev string, reason string) {
+		quarMu.Lock()
+		already := quarSet[dev]
+		quarSet[dev] = true
+		quarMu.Unlock()
+		if already {
+			return
+		}
+		send(Event{Kind: EventDeviceQuarantined, Device: dev, Reason: reason, Total: len(cells), Done: int(done.Load())})
 	}
 
 	cellEvent := func(kind EventKind, c gridCell) Event {
@@ -293,32 +348,121 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
 		}
-		m, err := p.Measure(ctx, c.dev, spec.Options)
-		if err != nil {
-			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
-		}
-		if spec.Store != nil {
-			raw, err := EncodeMeasurement(m)
+
+		// measureOnce runs one attempt: the injector's verdict first,
+		// then the model under the per-attempt deadline. Fault decisions
+		// are pure functions of (cell, attempt), so the attempt sequence
+		// a cell sees is identical at every worker count.
+		measureOnce := func(attempt int) (*Measurement, error) {
+			var dec faults.Decision
+			if spec.Faults != nil {
+				dec = spec.Faults.Decide(c.bench.Name(), c.size, c.dev.ID(), attempt)
+			}
+			if dec.Dropped {
+				return nil, faults.ErrDeviceDown
+			}
+			actx, cancel := ctx, func() {}
+			if spec.Retry.AttemptTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, spec.Retry.AttemptTimeout)
+			}
+			defer cancel()
+			if dec.Hang {
+				<-actx.Done()
+				return nil, actx.Err()
+			}
+			if dec.Transient {
+				return nil, faults.ErrTransient
+			}
+			m, err := p.Measure(actx, c.dev, spec.Options)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if err := spec.Store.Put(store.Record{
-				Key: key, Benchmark: m.Benchmark, Size: m.Size, Device: m.Device.ID,
-				Schema: StoreSchemaVersion, Value: raw,
-			}); err != nil {
-				return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
-			}
-			// A miss only counts once the measurement is persisted:
-			// under cancellation, hits + misses must equal exactly the
-			// completed cells.
-			misses.Add(1)
+			applyDecision(m, dec)
+			return m, nil
 		}
-		results[i] = m
-		ev := cellEvent(EventCellDone, c)
-		ev.Elapsed = time.Since(cellStart)
-		ev.Measurement = m
-		send(ev)
-		return nil
+
+		// failCell records a fault-class failure: the cell stays out of
+		// the grid and the store, the run continues.
+		failCell := func(attempt int, reason string) {
+			failed[i] = &FailedCell{
+				Benchmark: c.bench.Name(), Size: c.size, Device: c.dev.ID(),
+				Attempts: attempt, Reason: reason,
+			}
+			failedN.Add(1)
+			ev := cellEvent(EventCellFailed, c)
+			ev.Elapsed = time.Since(cellStart)
+			ev.Attempt, ev.Reason = attempt, reason
+			send(ev)
+		}
+
+		for attempt := 1; ; attempt++ {
+			m, aerr := measureOnce(attempt)
+			if aerr == nil {
+				if spec.Store != nil {
+					raw, err := EncodeMeasurement(m)
+					if err != nil {
+						return err
+					}
+					if err := spec.Store.Put(store.Record{
+						Key: key, Benchmark: m.Benchmark, Size: m.Size, Device: m.Device.ID,
+						Schema: StoreSchemaVersion, Value: raw,
+					}); err != nil {
+						return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
+					}
+					// A miss only counts once the measurement is persisted:
+					// under cancellation, hits + misses must equal exactly the
+					// completed cells.
+					misses.Add(1)
+				}
+				results[i] = m
+				ev := cellEvent(EventCellDone, c)
+				ev.Elapsed = time.Since(cellStart)
+				ev.Measurement = m
+				send(ev)
+				return nil
+			}
+			if ctx.Err() != nil {
+				// The run was cancelled: not a cell failure (and not a
+				// fault), exactly as before — the cell is simply not
+				// part of the partial grid.
+				return ctx.Err()
+			}
+			if errors.Is(aerr, faults.ErrDeviceDown) {
+				quarantine(c.dev.ID(), "device down")
+				failCell(attempt, "device down")
+				return nil
+			}
+			var reason string
+			switch {
+			case errors.Is(aerr, faults.ErrTransient):
+				reason = "transient fault"
+			case errors.Is(aerr, context.DeadlineExceeded):
+				// The attempt's own deadline; the parent context was
+				// checked live above.
+				reason = "attempt timeout"
+			default:
+				// A genuine harness/model error: abort the grid, as a
+				// non-faulted run would.
+				return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), aerr)
+			}
+			if attempt >= spec.Retry.attempts() {
+				failCell(attempt, reason)
+				return nil
+			}
+			retries.Add(1)
+			rev := cellEvent(EventCellRetry, c)
+			rev.Attempt, rev.Reason = attempt, reason
+			send(rev)
+			if d := spec.Retry.backoff(c.bench.Name(), c.size, c.dev.ID(), attempt+1); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				}
+			}
+		}
 	}
 
 	worker := func() {
@@ -363,22 +507,31 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 	g := &Grid{
 		StoreHits:   int(hits.Load()),
 		StoreMisses: int(misses.Load()),
+		Retries:     int(retries.Load()),
 		Elapsed:     time.Since(started),
 	}
-	if ctx.Err() != nil {
-		// Partial grid: exactly the completed cells, grid order. Every
-		// one of them was persisted before its CellDone event fired, so
-		// the store and the returned grid agree.
-		g.Measurements = make([]*Measurement, 0, done.Load())
-		for _, m := range results {
-			if m != nil {
-				g.Measurements = append(g.Measurements, m)
-			}
+	// Failures and quarantines apply to partial (cancelled) grids too:
+	// a cell that failed before the cancellation genuinely failed.
+	for _, f := range failed {
+		if f != nil {
+			g.Failed = append(g.Failed, *f)
 		}
-		return g, ctx.Err()
 	}
-	g.Measurements = results
-	return g, nil
+	for dev := range quarSet {
+		g.Quarantined = append(g.Quarantined, dev)
+	}
+	sort.Strings(g.Quarantined)
+	// Exactly the completed cells, grid order — partial under
+	// cancellation, missing only the failed cells otherwise. Every
+	// measurement was persisted before its CellDone event fired, so the
+	// store and the returned grid agree.
+	g.Measurements = make([]*Measurement, 0, done.Load())
+	for _, m := range results {
+		if m != nil {
+			g.Measurements = append(g.Measurements, m)
+		}
+	}
+	return g, ctx.Err()
 }
 
 // Cells returns the number of measured cells.
@@ -419,9 +572,13 @@ func (g *Grid) ByBenchmark(bench string) []*Measurement {
 // Merge absorbs another grid's measurements, keyed by cell coordinate
 // (benchmark × size × device): a cell present in both grids is replaced by
 // o's copy (last wins, in place, preserving g's order), new cells are
-// appended in o's order. Store hit/miss counters accumulate. Merging grids
-// measured under different options is the caller's responsibility — the
-// coordinate cannot distinguish them.
+// appended in o's order. Store hit/miss and retry counters accumulate;
+// quarantined-device sets union. Failures merge by the same coordinate
+// rule (o's record wins) except that a measurement always supersedes a
+// failure — a cell measured by either grid is not failed in the merge,
+// whichever run failed it first. Merging grids measured under different
+// options is the caller's responsibility — the coordinate cannot
+// distinguish them.
 func (g *Grid) Merge(o *Grid) {
 	idx := make(map[string]int, len(g.Measurements))
 	for i, m := range g.Measurements {
@@ -437,6 +594,46 @@ func (g *Grid) Merge(o *Grid) {
 	}
 	g.StoreHits += o.StoreHits
 	g.StoreMisses += o.StoreMisses
+	g.Retries += o.Retries
+
+	if len(g.Failed) > 0 || len(o.Failed) > 0 {
+		fidx := make(map[string]int)
+		merged := make([]FailedCell, 0, len(g.Failed)+len(o.Failed))
+		for _, f := range g.Failed {
+			key := f.Benchmark + "\x00" + f.Size + "\x00" + f.Device
+			if _, measured := idx[key]; measured {
+				continue
+			}
+			fidx[key] = len(merged)
+			merged = append(merged, f)
+		}
+		for _, f := range o.Failed {
+			key := f.Benchmark + "\x00" + f.Size + "\x00" + f.Device
+			if _, measured := idx[key]; measured {
+				continue
+			}
+			if i, ok := fidx[key]; ok {
+				merged[i] = f
+				continue
+			}
+			fidx[key] = len(merged)
+			merged = append(merged, f)
+		}
+		g.Failed = merged
+	}
+	if len(o.Quarantined) > 0 {
+		seen := make(map[string]bool, len(g.Quarantined)+len(o.Quarantined))
+		for _, d := range g.Quarantined {
+			seen[d] = true
+		}
+		for _, d := range o.Quarantined {
+			if !seen[d] {
+				seen[d] = true
+				g.Quarantined = append(g.Quarantined, d)
+			}
+		}
+		sort.Strings(g.Quarantined)
+	}
 }
 
 func mergeKey(m *Measurement) string {

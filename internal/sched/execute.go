@@ -96,6 +96,90 @@ func Execute(ctx context.Context, run Streamer, s *Schedule) (*harness.Grid, err
 	return out, nil
 }
 
+// ExecOutcome is the result of a resilient execution: the merged grid of
+// everything measured, the schedule actually in force at the end (the
+// original, or its latest repair) and the fault accounting.
+type ExecOutcome struct {
+	Grid *harness.Grid
+	// Schedule is the final schedule: the input when no device died, the
+	// last repaired schedule otherwise.
+	Schedule *Schedule
+	// Quarantined lists the devices that died during this execution,
+	// sorted. Repairs counts replan passes; MigratedTasks the slots moved
+	// off dead devices across them.
+	Quarantined   []string
+	Repairs       int
+	MigratedTasks int
+	// Retries is the total retry count across all measurement passes;
+	// Failed the cells that exhausted their attempts on a device that
+	// stayed up (failures on quarantined devices are accounted by the
+	// migration instead).
+	Retries int
+	Failed  []harness.FailedCell
+}
+
+// ExecuteResilient measures the schedule's cells and reacts to device
+// dropouts: when an execution pass quarantines devices, the schedule's
+// stranded slots are migrated onto the survivors via Schedule.Repair
+// (policy and costs as at planning time) and the repaired schedule is
+// re-executed — with a store-backed streamer the surviving cells are store
+// hits, so only the migrated work is re-measured. The loop runs until a
+// pass quarantines nothing new; each pass kills at least one device, so
+// it is bounded by the fleet size. Cancellation and hard measurement
+// errors return the outcome so far alongside the error.
+func ExecuteResilient(ctx context.Context, run Streamer, s *Schedule, pol Policy, costs CostProvider, opt Options) (*ExecOutcome, error) {
+	out := &ExecOutcome{Grid: &harness.Grid{}, Schedule: s}
+	deadSet := map[string]bool{}
+	cur := s
+	for pass := 0; ; pass++ {
+		if pass > len(s.fleet) {
+			return out, fmt.Errorf("sched: repair loop exceeded the fleet size (%d passes)", pass)
+		}
+		g, err := Execute(ctx, run, cur)
+		if g != nil {
+			out.Grid.Merge(g)
+		}
+		out.Schedule = cur
+		if err != nil {
+			out.Retries = out.Grid.Retries
+			return out, err
+		}
+		var fresh []string
+		for _, d := range g.Quarantined {
+			if !deadSet[d] {
+				deadSet[d] = true
+				fresh = append(fresh, d)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		freshSet := map[string]bool{}
+		for _, d := range fresh {
+			freshSet[d] = true
+		}
+		for i := range cur.Slots {
+			if freshSet[cur.Slots[i].Device] {
+				out.MigratedTasks++
+			}
+		}
+		out.Quarantined = unionSorted(out.Quarantined, fresh)
+		repaired, rerr := cur.Repair(out.Quarantined, pol, costs, opt)
+		if rerr != nil {
+			return out, rerr
+		}
+		out.Repairs++
+		cur = repaired
+	}
+	out.Retries = out.Grid.Retries
+	for _, f := range out.Grid.Failed {
+		if !deadSet[f.Device] {
+			out.Failed = append(out.Failed, f)
+		}
+	}
+	return out, nil
+}
+
 // Round is one online-loop iteration: the schedule planned from the
 // knowledge available at its start, and — when the loop has an oracle —
 // its regret after execution.
@@ -117,6 +201,15 @@ type Round struct {
 	// StoreHits/StoreMisses of this round's execution: how much was
 	// re-measured versus served from the store.
 	StoreHits, StoreMisses int
+	// Fault accounting for the round's execution: the devices that died
+	// (sorted), the repair passes and migrated slots they forced, the
+	// retry total and the cells that failed on surviving devices. The
+	// round's Schedule is the repaired one when Repairs > 0.
+	Quarantined   []string
+	Repairs       int
+	MigratedTasks int
+	Retries       int
+	FailedCells   int
 }
 
 // LoopResult is the outcome of an online scheduling loop.
@@ -125,6 +218,9 @@ type LoopResult struct {
 	// Grid is the final knowledge grid: the initial cells plus everything
 	// the rounds executed.
 	Grid *harness.Grid
+	// Quarantined accumulates every device that died across the rounds,
+	// sorted; later rounds schedule on the shrunk fleet.
+	Quarantined []string
 }
 
 // LoopParams configures OnlineLoop.
@@ -176,6 +272,9 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 	res := &LoopResult{Grid: known}
 	best := 0.0
 	prev := p.Costs
+	// Quarantined devices drop out of the scheduling fleet for every later
+	// round; p.Fleet itself is not mutated.
+	fleet := append([]*sim.DeviceSpec(nil), p.Fleet...)
 	for r := 0; r < p.Rounds; r++ {
 		costs := p.Costs
 		if r > 0 || costs == nil {
@@ -189,21 +288,42 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 		if missing := costs.MissingRows(p.Workload); len(missing) > 0 {
 			return res, fmt.Errorf("sched: round %d: no measurements or characterisation for %v", r, missing)
 		}
-		s, err := p.Policy.Schedule(p.Workload, p.Fleet, costs, p.Sched)
+		s, err := p.Policy.Schedule(p.Workload, fleet, costs, p.Sched)
 		if err != nil {
 			return res, fmt.Errorf("sched: round %d: %w", r, err)
 		}
-		executed, err := Execute(ctx, p.Stream, s)
-		if executed != nil {
-			known.Merge(executed)
+		outc, err := ExecuteResilient(ctx, p.Stream, s, p.Policy, costs, p.Sched)
+		if outc != nil && outc.Grid != nil {
+			known.Merge(outc.Grid)
 		}
 		if err != nil {
 			return res, fmt.Errorf("sched: round %d execution: %w", r, err)
 		}
+		s = outc.Schedule
+		if len(outc.Quarantined) > 0 {
+			dead := map[string]bool{}
+			for _, d := range outc.Quarantined {
+				dead[d] = true
+			}
+			kept := fleet[:0:0]
+			for _, dev := range fleet {
+				if !dead[dev.ID] {
+					kept = append(kept, dev)
+				}
+			}
+			if len(kept) == 0 {
+				return res, fmt.Errorf("sched: round %d: every fleet device is quarantined", r)
+			}
+			fleet = kept
+			res.Quarantined = unionSorted(res.Quarantined, outc.Quarantined)
+		}
 		round := Round{
 			Index: r, Schedule: s,
 			Predicted: s.Predicted, Measured: s.Measured,
-			StoreHits: executed.StoreHits, StoreMisses: executed.StoreMisses,
+			StoreHits: outc.Grid.StoreHits, StoreMisses: outc.Grid.StoreMisses,
+			Quarantined: outc.Quarantined, Repairs: outc.Repairs,
+			MigratedTasks: outc.MigratedTasks, Retries: outc.Retries,
+			FailedCells: len(outc.Failed),
 		}
 		if p.Oracle != nil {
 			actual, err := s.Retime(p.Truth)

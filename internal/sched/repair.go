@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"opendwarfs/internal/sim"
+)
+
+// Repair migrates this schedule's work off the given dead devices: the
+// placements on surviving devices are kept in their per-device order, the
+// tasks stranded on dead devices are re-scheduled across the survivors
+// with the given policy, and the combined placement is re-evaluated over
+// the surviving fleet. Migrated tasks join the back of the survivors'
+// FIFO queues — running lanes are not reshuffled mid-execution, the
+// incremental replan only places the stranded work. The repaired
+// schedule's policy name gains a "+repair" suffix. Dead devices the
+// schedule never used still shrink its fleet (their lanes disappear);
+// repairing with no overlap between dead and fleet returns the schedule
+// unchanged. Losing every fleet device is an error.
+func (s *Schedule) Repair(dead []string, pol Policy, costs CostProvider, opt Options) (*Schedule, error) {
+	deadSet := map[string]bool{}
+	for _, d := range dead {
+		deadSet[d] = true
+	}
+	overlap := false
+	for _, dev := range s.fleet {
+		if deadSet[dev.ID] {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return s, nil
+	}
+	fleet := make([]*sim.DeviceSpec, 0, len(s.fleet))
+	devMap := make([]int, len(s.fleet)) // old fleet index → new, -1 if dead
+	for i, dev := range s.fleet {
+		if deadSet[dev.ID] {
+			devMap[i] = -1
+			continue
+		}
+		devMap[i] = len(fleet)
+		fleet = append(fleet, dev)
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("sched: repair: all %d fleet devices are dead", len(s.fleet))
+	}
+
+	kept := make([]placement, 0, len(s.places))
+	var movedTasks []int
+	for _, p := range s.places {
+		if devMap[p.dev] < 0 {
+			movedTasks = append(movedTasks, p.task)
+			continue
+		}
+		kept = append(kept, placement{task: p.task, dev: devMap[p.dev]})
+	}
+	places := kept
+	if len(movedTasks) > 0 {
+		sub := &Workload{Tasks: make([]Task, len(movedTasks))}
+		for j, ti := range movedTasks {
+			sub.Tasks[j] = s.workload.Tasks[ti]
+		}
+		rs, err := pol.Schedule(sub, fleet, costs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("sched: repair: %w", err)
+		}
+		for _, p := range rs.places {
+			places = append(places, placement{task: movedTasks[p.task], dev: p.dev})
+		}
+	}
+	matrix, err := costMatrix(s.workload, fleet, costs)
+	if err != nil {
+		return nil, fmt.Errorf("sched: repair: %w", err)
+	}
+	return evaluate(s.Policy+"+repair", s.workload, fleet, matrix, places), nil
+}
+
+// unionSorted merges two sorted-or-not string sets into a sorted,
+// deduplicated slice.
+func unionSorted(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"opendwarfs/internal/dwarfs"
+	"opendwarfs/internal/faults"
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/store"
@@ -29,11 +30,30 @@ type EventKind = harness.EventKind
 
 // Event kinds emitted by Session.Stream (and Session.RunGrid internally).
 const (
-	EventCellStart = harness.EventCellStart
-	EventCellDone  = harness.EventCellDone
-	EventStoreHit  = harness.EventStoreHit
-	EventGridDone  = harness.EventGridDone
+	EventCellStart         = harness.EventCellStart
+	EventCellDone          = harness.EventCellDone
+	EventStoreHit          = harness.EventStoreHit
+	EventCellRetry         = harness.EventCellRetry
+	EventCellFailed        = harness.EventCellFailed
+	EventDeviceQuarantined = harness.EventDeviceQuarantined
+	EventGridDone          = harness.EventGridDone
 )
+
+// RetryPolicy re-exports the per-cell measurement retry policy; see
+// WithRetry.
+type RetryPolicy = harness.RetryPolicy
+
+// FailedCell re-exports the record of a cell that exhausted its attempts
+// (or whose device dropped); see Grid.Failed.
+type FailedCell = harness.FailedCell
+
+// FaultInjector re-exports the deterministic fault-injection interface;
+// see WithFaults.
+type FaultInjector = faults.Injector
+
+// FaultPlan re-exports the seeded declarative fault plan — the standard
+// FaultInjector implementation.
+type FaultPlan = faults.Plan
 
 // Session is the context-aware entry point to the suite: a configured
 // measurement environment (methodology options, worker pool, optional
@@ -45,6 +65,8 @@ const (
 type Session struct {
 	opt     Options
 	workers int
+	faults  faults.Injector
+	retry   harness.RetryPolicy
 
 	mu     sync.Mutex // guards st/ownsSt against a concurrent Close
 	st     *store.Store
@@ -136,6 +158,41 @@ func WithVerify(v bool) Option {
 	return func(s *Session) error { s.opt.Verify = v; return nil }
 }
 
+// WithFaults injects deterministic faults into every measurement the
+// session makes: transient errors, device dropouts, stragglers and power
+// sensor dropouts, per the injector's verdicts. Store hits bypass
+// injection. nil (the default) is the clean simulator. Injectors that
+// implement `interface{ Validate() error }` (FaultPlan does) are
+// validated here.
+func WithFaults(inj FaultInjector) Option {
+	return func(s *Session) error {
+		if v, ok := inj.(interface{ Validate() error }); ok && inj != nil {
+			if err := v.Validate(); err != nil {
+				return err
+			}
+		}
+		s.faults = inj
+		return nil
+	}
+}
+
+// WithRetry sets the per-cell retry policy: transient faults and attempt
+// timeouts are retried with exponential backoff up to MaxAttempts; a cell
+// that exhausts its attempts is reported in Grid.Failed instead of
+// aborting the run. The zero policy makes a single attempt per cell.
+func WithRetry(r RetryPolicy) Option {
+	return func(s *Session) error {
+		if r.MaxAttempts < 0 {
+			return fmt.Errorf("opendwarfs: negative retry attempts %d", r.MaxAttempts)
+		}
+		if r.Jitter < 0 || r.Jitter > 1 {
+			return fmt.Errorf("opendwarfs: retry jitter %g outside [0,1]", r.Jitter)
+		}
+		s.retry = r
+		return nil
+	}
+}
+
 // WithOptions replaces the session's measurement options wholesale — the
 // migration path for code that already builds an Options value. Later
 // With* options still apply on top.
@@ -193,6 +250,8 @@ func (s *Session) spec(sel Selection) harness.GridSpec {
 		Options:    s.opt,
 		Workers:    s.workers,
 		Store:      st,
+		Faults:     s.faults,
+		Retry:      s.retry,
 	}
 }
 
@@ -215,16 +274,21 @@ func (s *Session) Run(ctx context.Context, bench, size, deviceID string) (*Resul
 	s.mu.Lock()
 	hasStore := s.st != nil
 	s.mu.Unlock()
-	if hasStore {
-		// Route the single cell through the grid so the store read/write
-		// path is shared with sweeps.
+	if hasStore || s.faults != nil || s.retry.MaxAttempts > 1 {
+		// Route the single cell through the grid so the store and
+		// fault/retry paths are shared with sweeps.
 		g, err := harness.RunGrid(ctx, reg, s.spec(Selection{
 			Benchmarks: []string{bench}, Sizes: []string{size}, Devices: []string{deviceID},
 		}))
 		if err != nil {
 			return nil, err
 		}
-		return g.Measurements[0], nil
+		if len(g.Measurements) == 1 {
+			return g.Measurements[0], nil
+		}
+		f := g.Failed[0]
+		return nil, fmt.Errorf("opendwarfs: %s/%s on %s failed after %d attempt(s): %s",
+			f.Benchmark, f.Size, f.Device, f.Attempts, f.Reason)
 	}
 	return harness.Run(ctx, b, size, dev, s.opt)
 }
