@@ -18,6 +18,10 @@
 // cost source. Execution flows through Session.Stream, so with -store each
 // round's measured cells persist and later rounds prefer measurement over
 // prediction. Everything is deterministic in (-seed, workload, fleet).
+//
+// -trace records scheduling rounds (plan, execute, repair) and the
+// measurement grids under them as a Chrome trace-event file for Perfetto
+// or chrome://tracing.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"opendwarfs"
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/harness"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/predict"
 	"opendwarfs/internal/report"
 	"opendwarfs/internal/sched"
@@ -76,6 +81,7 @@ func main() {
 		chaosFactor    = flag.Float64("chaos-straggler-factor", 4, "chaos: straggler slowdown factor")
 		retries        = flag.Int("retries", 0, "measurement attempts per cell (0/1 = no retry)")
 		retryBackoff   = flag.Duration("retry-backoff", 0, "base backoff before a retry (doubles per attempt)")
+		tracePath      = flag.String("trace", "", "write a Chrome trace-event file of scheduling rounds and measurements (open in Perfetto)")
 		assertComplete = flag.Bool("assert-complete", false, "fail unless every reachable cell of the final schedule was measured and no failure leaked onto a surviving device (requires -rounds >= 1)")
 	)
 	flag.Parse()
@@ -151,6 +157,14 @@ func main() {
 	// Ctrl-C cancels measurement; with -store the completed cells persist.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The tracer rides the context: every grid the session streams and
+	// every scheduling round spans into it, and it is flushed on all exit
+	// paths (fatal included) — completed spans only, so always well-formed.
+	if *tracePath != "" {
+		traceTracer, traceFile = obs.NewTracer(), *tracePath
+		ctx = obs.ContextWithTracer(ctx, traceTracer)
+	}
+	defer flushTrace()
 	stream := streamer(sess, *progress)
 
 	// Bootstrap: the workload's rows on the bootstrap devices seed the
@@ -253,11 +267,17 @@ func main() {
 
 	regret := 0.0
 	if *rounds > 0 {
-		res, err := sched.OnlineLoop(ctx, sched.LoopParams{
+		params := sched.LoopParams{
 			Stream: stream, Workload: w, Fleet: fleet, Policy: primary,
 			Forest: cfg, Sched: schedOpt, Known: loopKnown, Costs: costs,
-			Oracle: oracleSchedule, Truth: truthCosts, Rounds: *rounds,
-		})
+			Rounds: *rounds,
+		}
+		if oracleSchedule != nil {
+			// Assigned only when real: a nil *sched.Costs stored into the
+			// CostProvider interface would read as set and fail validation.
+			params.Oracle, params.Truth = oracleSchedule, truthCosts
+		}
+		res, err := sched.OnlineLoop(ctx, params)
 		if err != nil {
 			fatal(err)
 		}
@@ -509,7 +529,28 @@ func split(s string) []string {
 	return out
 }
 
+// traceTracer/traceFile hold the -trace state so fatal() can flush the
+// spans collected so far before exiting.
+var (
+	traceTracer *obs.Tracer
+	traceFile   string
+)
+
+// flushTrace writes the Chrome trace, if -trace asked for one. Only
+// completed spans are exported, so the file is valid even when an error
+// or cancellation cut the run short.
+func flushTrace() {
+	tr := traceTracer
+	traceTracer = nil // clear first: writeFile fatals on error, which re-enters here
+	if tr == nil {
+		return
+	}
+	writeFile(traceFile, func(f *os.File) error { return tr.WriteChromeTrace(f) })
+	fmt.Fprintf(os.Stderr, "Chrome trace (%d spans) written to %s\n", tr.Spans(), traceFile)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dwarfsched:", err)
+	flushTrace()
 	os.Exit(1)
 }

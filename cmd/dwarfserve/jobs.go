@@ -21,6 +21,7 @@ import (
 
 	"opendwarfs/internal/faults"
 	"opendwarfs/internal/harness"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/suite"
 )
 
@@ -226,6 +227,7 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		Options:    opt,
 		Workers:    req.Workers,
 		Store:      s.st,
+		Metrics:    s.metrics,
 		Retry: harness.RetryPolicy{
 			MaxAttempts: req.Retries,
 			BaseBackoff: time.Duration(req.BackoffMs * float64(time.Millisecond)),
@@ -265,6 +267,8 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	s.pruneJobsLocked()
 	s.jobWG.Add(1)
 	s.jobMu.Unlock()
+	s.metrics.Counter("jobs_created_total").Inc()
+	s.metrics.Gauge("jobs_running").Add(1)
 
 	go s.runJob(j, events)
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -319,6 +323,8 @@ func (s *server) runJob(j *job, events <-chan harness.Event) {
 		wev.State = string(state)
 		wev.Error = errMsg
 		j.finish(state, errMsg, wev)
+		s.metrics.Gauge("jobs_running").Add(-1)
+		s.metrics.Counter(obs.Name("jobs_finished_total", "state", string(state))).Inc()
 	}
 }
 
@@ -404,6 +410,8 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	s.metrics.Gauge("sse_subscribers").Add(1)
+	defer s.metrics.Gauge("sse_subscribers").Add(-1)
 
 	keepAlive := time.NewTicker(s.keepAlive)
 	defer keepAlive.Stop()

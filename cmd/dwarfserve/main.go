@@ -5,7 +5,9 @@
 // server adds O(1) cell addressing by benchmark × size × device) and
 // answers JSON queries:
 //
-//	GET    /healthz                               liveness + cell and job counts
+//	GET    /healthz                               liveness (plus quarantined devices, deprecated)
+//	GET    /v1/status                             build info, uptime, cell/segment/job counts
+//	GET    /metrics                               Prometheus text exposition of the server registry
 //	GET    /v1/cells?bench=fft&size=tiny&device=gtx1080   filtered cell summaries
 //	GET    /v1/grid                               every cell + the grid axes
 //	GET    /v1/predict?bench=fft&size=tiny&device=gtx1080  runtime prediction
@@ -28,6 +30,12 @@
 // cells on first use (deterministic in -seed, retrained after a job adds
 // cells) and answers for any catalogue device — including devices the
 // benchmark never ran on, the paper's §7 scenario.
+//
+// Every request passes a metrics/logging middleware (route-labelled
+// request counters and latency histograms; 4xx/5xx logged server-side),
+// job grids derive harness counters, and the store counts its appends and
+// compactions — all into one registry served at GET /metrics. -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 //
 // SIGINT/SIGTERM shut down gracefully: running jobs are cancelled through
 // their contexts (completed cells are already flushed to the store — the
@@ -55,6 +63,7 @@ import (
 	"time"
 
 	"opendwarfs/internal/harness"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/predict"
 	"opendwarfs/internal/sched"
 	"opendwarfs/internal/sim"
@@ -70,6 +79,7 @@ func main() {
 		depth    = flag.Int("depth", def.MaxDepth, "maximum tree depth for /v1/predict")
 		seed     = flag.Int64("seed", def.Seed, "training seed for /v1/predict")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -91,6 +101,9 @@ func main() {
 	cfg.Trees, cfg.MaxDepth, cfg.Seed = *trees, *depth, *seed
 
 	srv := newServer(st, grid, cfg)
+	if *pprofOn {
+		srv.enablePprof()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,9 +144,11 @@ func main() {
 // handlers see new cells without a restart; sweeps run by other processes
 // still become visible on restart only.
 type server struct {
-	st  *store.Store
-	mux *http.ServeMux
-	cfg predict.Config
+	st      *store.Store
+	mux     *http.ServeMux
+	cfg     predict.Config
+	metrics *obs.Registry // one registry for HTTP, store, jobs and gauges
+	started time.Time     // process start, for /v1/status uptime
 
 	// mu guards the query snapshot: the grid, the O(1) cell index and the
 	// axes (distinct values in store listing order).
@@ -183,16 +198,21 @@ func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server 
 	s := &server{
 		st:          st,
 		cfg:         cfg,
+		metrics:     obs.NewRegistry(),
+		started:     time.Now(),
 		trainedGen:  -1,
 		schedGen:    -1,
 		jobs:        make(map[string]*job),
 		keepAlive:   15 * time.Second,
 		quarantined: make(map[string]string),
 	}
+	st.Instrument(s.metrics)
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	s.setGrid(grid)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
@@ -244,7 +264,8 @@ func (s *server) reloadFromStore() error {
 	return nil
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP lives in obs.go: the request/metrics/logging middleware wraps
+// the mux there.
 
 // cellSummary is the wire form of one measured cell: the statistics every
 // figure is built from, without the raw sample vectors.
@@ -307,20 +328,15 @@ func (s *server) quarantinedDevices() []string {
 	return out
 }
 
+// handleHealth is pure liveness: the process is up and answering. The
+// cell/segment/schema/job counters that used to live here moved to
+// /v1/status.
+//
+// Deprecated: the `quarantined` field is kept for pre-/v1/status clients
+// (the chaos tooling greps it); new callers should read it from
+// /v1/status instead.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	cells := s.grid.Cells()
-	s.mu.RUnlock()
-	s.jobMu.Lock()
-	jobs := len(s.jobs)
-	s.jobMu.Unlock()
-	resp := map[string]any{
-		"status":   "ok",
-		"cells":    cells,
-		"segments": s.st.Segments(),
-		"schema":   harness.StoreSchemaVersion,
-		"jobs":     jobs,
-	}
+	resp := map[string]any{"status": "ok"}
 	if quar := s.quarantinedDevices(); len(quar) > 0 {
 		resp["quarantined"] = quar
 	}

@@ -67,8 +67,24 @@ func TestHealthz(t *testing.T) {
 	if body["status"] != "ok" {
 		t.Fatalf("status %v", body["status"])
 	}
-	if int(body["cells"].(float64)) != g.Cells() {
-		t.Fatalf("cells %v, want %d", body["cells"], g.Cells())
+	// /healthz is pure liveness; the counters live in /v1/status.
+	if _, has := body["cells"]; has {
+		t.Fatalf("healthz still reports cells: %v", body)
+	}
+	status := get(t, srv, "/v1/status", http.StatusOK)
+	if int(status["cells"].(float64)) != g.Cells() {
+		t.Fatalf("status cells %v, want %d", status["cells"], g.Cells())
+	}
+	for _, key := range []string{"version", "go_version", "vcs_revision"} {
+		if v, _ := status[key].(string); v == "" {
+			t.Fatalf("status %s missing: %v", key, status)
+		}
+	}
+	if status["uptime_ms"].(float64) < 0 {
+		t.Fatalf("negative uptime %v", status["uptime_ms"])
+	}
+	if int(status["jobs_running"].(float64)) != 0 || int(status["jobs"].(float64)) != 0 {
+		t.Fatalf("fresh server reports jobs: %v", status)
 	}
 }
 
@@ -257,7 +273,7 @@ func TestJobSweepRoundTrip(t *testing.T) {
 	}
 
 	// The query snapshot was reloaded: 6 cells served.
-	if body := get(t, srv, "/healthz", http.StatusOK); int(body["cells"].(float64)) != 6 {
+	if body := get(t, srv, "/v1/status", http.StatusOK); int(body["cells"].(float64)) != 6 {
 		t.Fatalf("cells after job %v, want 6", body["cells"])
 	}
 
@@ -337,7 +353,7 @@ func TestJobCancel(t *testing.T) {
 	if st.Len() != done {
 		t.Fatalf("store holds %d cells, job reported %d completed", st.Len(), done)
 	}
-	if body := get(t, srv, "/healthz", http.StatusOK); int(body["cells"].(float64)) != done {
+	if body := get(t, srv, "/v1/status", http.StatusOK); int(body["cells"].(float64)) != done {
 		t.Fatalf("snapshot serves %v cells, want %d", body["cells"], done)
 	}
 }

@@ -21,6 +21,11 @@
 // are appended for the next run — or for cmd/dwarfserve to serve. An
 // unchanged re-sweep is a 100% hit and its exports are byte-identical;
 // -assert-store-hits turns that into a CI gate.
+//
+// -trace records a span per grid, cell, preparation and measurement
+// attempt and writes them as a Chrome trace-event file — drop it on
+// https://ui.perfetto.dev (or chrome://tracing) to see the sweep's
+// worker-lane timeline.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"opendwarfs/internal/faults"
 	"opendwarfs/internal/harness"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/report"
 	"opendwarfs/internal/scibench"
 	"opendwarfs/internal/store"
@@ -64,6 +70,7 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed: same seed, same faults, any worker count")
 		chaosRate  = flag.Float64("chaos-transient", 0.2, "per-attempt transient fault probability")
 		chaosDrop  = flag.String("chaos-drop", "", "comma-separated devices that fail permanently (quarantined on first touch)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event file of the sweep (open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 	if *storeDir == "" && (*assertHits >= 0 || *compact) {
@@ -92,6 +99,11 @@ func main() {
 			os.Exit(1)
 		}
 		spec.Faults = plan
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		spec.Tracer = tracer
 	}
 	var st *store.Store
 	if *storeDir != "" {
@@ -134,6 +146,12 @@ func main() {
 		case harness.EventGridDone:
 			grid, runErr = ev.Grid, ev.Err
 		}
+	}
+	// The stream has settled, so every span — even those of a cancelled
+	// sweep — is closed; the trace is always well-formed.
+	if tracer != nil {
+		writeExport(*tracePath, func(f *os.File) error { return tracer.WriteChromeTrace(f) })
+		fmt.Fprintf(os.Stderr, "Chrome trace (%d spans) written to %s\n", tracer.Spans(), *tracePath)
 	}
 	if runErr != nil {
 		if errors.Is(runErr, context.Canceled) && grid != nil {

@@ -13,6 +13,7 @@ import (
 
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/faults"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/store"
 )
@@ -56,6 +57,22 @@ type GridSpec struct {
 	// zero value makes exactly one attempt per cell with no timeout,
 	// reproducing the non-retrying harness exactly.
 	Retry RetryPolicy
+	// Metrics, when non-nil, receives the run's counters and latency
+	// histograms (harness_*, store_decode_ns, faults_injected_total —
+	// see DESIGN.md §10). The counters are derived from the same event
+	// stream consumers see, so they agree exactly with the returned
+	// Grid's hit/miss/retry/failure counts, including on a cancelled
+	// partial grid. A registry shared across runs aggregates fleet-wide;
+	// dwarfserve hands every job its server registry.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one span per cell with prepare and
+	// per-attempt measure children; export with WriteChromeTrace or
+	// WriteJSONL after the run. When nil, a tracer carried by the run's
+	// context (obs.ContextWithTracer) is used instead, so callers above
+	// the GridSpec — schedulers, sessions — can trace without touching
+	// the spec. Every span is closed by the time the run returns, even
+	// under cancellation.
+	Tracer *obs.Tracer
 }
 
 // Grid is a collection of measurements with lookup helpers — the data
@@ -245,6 +262,29 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		workers = len(cells)
 	}
 
+	// Observability: metric handles are resolved once here (nil registry
+	// yields nil metrics whose methods no-op, so the hot path never
+	// branches on "is instrumentation on"), the injector is wrapped to
+	// count injected faults by kind, and the tracer — from the spec, or
+	// carried by ctx for callers above the spec — roots a run-level span
+	// that every cell span parents under.
+	mo := newGridMetrics(spec.Metrics)
+	injector := spec.Faults
+	if spec.Metrics != nil {
+		injector = faults.Counted(injector, spec.Metrics)
+	}
+	tracer := spec.Tracer
+	if tracer == nil {
+		tracer = obs.TracerFrom(ctx)
+	}
+	if tracer != nil {
+		ctx = obs.ContextWithTracer(ctx, tracer)
+		var gspan *obs.Span
+		ctx, gspan = obs.StartSpan(ctx, "harness.grid",
+			obs.Int("cells", len(cells)), obs.Int("workers", workers))
+		defer gspan.End()
+	}
+
 	var (
 		cache   = newPrepCache()
 		results = make([]*Measurement, len(cells))
@@ -275,6 +315,27 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		if ev.Kind == EventCellDone || ev.Kind == EventStoreHit {
 			ev.Done = int(done.Add(1))
 			ev.Hits, ev.Misses = int(hits.Load()), int(misses.Load())
+		}
+		// Metrics are derived from the event stream itself — one bump per
+		// event, under the same mutex — so the registry's counters agree
+		// exactly with what consumers saw and with the returned grid.
+		switch ev.Kind {
+		case EventCellDone:
+			mo.cells.Inc()
+			if spec.Store != nil {
+				mo.misses.Inc()
+			}
+			mo.cellNs.Observe(float64(ev.Elapsed))
+		case EventStoreHit:
+			mo.cells.Inc()
+			mo.hits.Inc()
+			mo.cellNs.Observe(float64(ev.Elapsed))
+		case EventCellRetry:
+			mo.retries.Inc()
+		case EventCellFailed:
+			mo.failed.Inc()
+		case EventDeviceQuarantined:
+			mo.quarantines.Inc()
 		}
 		ev.Retries, ev.Failed = int(retries.Load()), int(failedN.Load())
 		if spec.Progress != nil {
@@ -326,12 +387,26 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 				err = fmt.Errorf("harness: grid cell %s/%s/%s panicked: %v", c.bench.Name(), c.size, c.dev.ID(), r)
 			}
 		}()
+		// The cell span parents every phase below; attr construction is
+		// gated on the tracer so the untraced path stays allocation-free.
+		cctx := ctx
+		var cspan *obs.Span
+		if tracer != nil {
+			cctx, cspan = obs.StartSpan(ctx, "harness.cell",
+				obs.String("benchmark", c.bench.Name()),
+				obs.String("size", c.size),
+				obs.String("device", c.dev.ID()))
+		}
+		defer cspan.End()
 		send(cellEvent(EventCellStart, c))
 		var key string
 		if spec.Store != nil {
 			key = CellKey(c.bench.Name(), c.size, c.dev.Spec, spec.Options)
 			if raw, ok := spec.Store.Get(key); ok {
+				decodeStart := time.Now()
 				if m, derr := DecodeMeasurement(raw); derr == nil {
+					mo.decodeNs.Observe(float64(time.Since(decodeStart)))
+					cspan.SetAttr("outcome", "store_hit")
 					results[i] = m
 					hits.Add(1)
 					ev := cellEvent(EventStoreHit, c)
@@ -344,7 +419,15 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 				// overwrite below.
 			}
 		}
-		p, err := cache.prepare(ctx, c.bench, c.size, spec.Options)
+		var pspan *obs.Span
+		pctx := cctx
+		if tracer != nil {
+			pctx, pspan = obs.StartSpan(cctx, "harness.prepare")
+		}
+		prepStart := time.Now()
+		p, err := cache.prepare(pctx, c.bench, c.size, spec.Options)
+		mo.prepareNs.Observe(float64(time.Since(prepStart)))
+		pspan.End()
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
 		}
@@ -354,16 +437,22 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		// are pure functions of (cell, attempt), so the attempt sequence
 		// a cell sees is identical at every worker count.
 		measureOnce := func(attempt int) (*Measurement, error) {
+			mctx := cctx
+			var mspan *obs.Span
+			if tracer != nil {
+				mctx, mspan = obs.StartSpan(cctx, "harness.measure", obs.Int("attempt", attempt))
+			}
+			defer mspan.End()
 			var dec faults.Decision
-			if spec.Faults != nil {
-				dec = spec.Faults.Decide(c.bench.Name(), c.size, c.dev.ID(), attempt)
+			if injector != nil {
+				dec = injector.Decide(c.bench.Name(), c.size, c.dev.ID(), attempt)
 			}
 			if dec.Dropped {
 				return nil, faults.ErrDeviceDown
 			}
-			actx, cancel := ctx, func() {}
+			actx, cancel := mctx, func() {}
 			if spec.Retry.AttemptTimeout > 0 {
-				actx, cancel = context.WithTimeout(ctx, spec.Retry.AttemptTimeout)
+				actx, cancel = context.WithTimeout(mctx, spec.Retry.AttemptTimeout)
 			}
 			defer cancel()
 			if dec.Hang {
@@ -373,7 +462,9 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 			if dec.Transient {
 				return nil, faults.ErrTransient
 			}
+			measureStart := time.Now()
 			m, err := p.Measure(actx, c.dev, spec.Options)
+			mo.measureNs.Observe(float64(time.Since(measureStart)))
 			if err != nil {
 				return nil, err
 			}
@@ -384,6 +475,8 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		// failCell records a fault-class failure: the cell stays out of
 		// the grid and the store, the run continues.
 		failCell := func(attempt int, reason string) {
+			cspan.SetAttr("outcome", "failed")
+			cspan.SetAttr("reason", reason)
 			failed[i] = &FailedCell{
 				Benchmark: c.bench.Name(), Size: c.size, Device: c.dev.ID(),
 				Attempts: attempt, Reason: reason,
@@ -414,6 +507,7 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 					// completed cells.
 					misses.Add(1)
 				}
+				cspan.SetAttr("outcome", "measured")
 				results[i] = m
 				ev := cellEvent(EventCellDone, c)
 				ev.Elapsed = time.Since(cellStart)

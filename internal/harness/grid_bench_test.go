@@ -14,10 +14,14 @@ import (
 	"runtime"
 	"testing"
 
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/suite"
 )
 
+// benchGridSpec runs with observability fully enabled — a metrics
+// registry and a tracer per run — so the committed BENCH_grid.json bounds
+// hold for the instrumented hot path, not a stripped one.
 func benchGridSpec(workers int) GridSpec {
 	opt := DefaultOptions()
 	opt.Samples = 8
@@ -27,6 +31,8 @@ func benchGridSpec(workers int) GridSpec {
 		Devices:    []string{"i7-6700k", "gtx1080", "k20m", "r9-290x", "knl-7210"},
 		Options:    opt,
 		Workers:    workers,
+		Metrics:    obs.NewRegistry(),
+		Tracer:     obs.NewTracer(),
 	}
 }
 

@@ -1,0 +1,41 @@
+package harness
+
+import "opendwarfs/internal/obs"
+
+// gridMetrics caches one run's metric handles so the hot path never
+// resolves names. Built from a nil registry every field is a nil metric
+// whose methods no-op — instrumentation call sites stay unconditional.
+type gridMetrics struct {
+	// Counters mirror the event stream one-for-one (bumped in send,
+	// under the emit mutex): cells = cell_done + store_hit events,
+	// hits/misses = the store counters, retries/failed/quarantines =
+	// their fault events. They therefore agree exactly with the run's
+	// Grid — StoreHits, StoreMisses, Retries, len(Failed),
+	// len(Quarantined) — partial grids included.
+	cells       *obs.Counter // harness_cells_total
+	hits        *obs.Counter // harness_store_hits_total
+	misses      *obs.Counter // harness_store_misses_total
+	retries     *obs.Counter // harness_retries_total
+	failed      *obs.Counter // harness_failed_cells_total
+	quarantines *obs.Counter // harness_quarantines_total
+
+	cellNs    *obs.Histogram // harness_cell_ns: wall-clock per completed cell
+	prepareNs *obs.Histogram // harness_prepare_ns: Prepare incl. cache hits
+	measureNs *obs.Histogram // harness_measure_ns: one Measure attempt
+	decodeNs  *obs.Histogram // store_decode_ns: store-hit decode
+}
+
+func newGridMetrics(r *obs.Registry) gridMetrics {
+	return gridMetrics{
+		cells:       r.Counter("harness_cells_total"),
+		hits:        r.Counter("harness_store_hits_total"),
+		misses:      r.Counter("harness_store_misses_total"),
+		retries:     r.Counter("harness_retries_total"),
+		failed:      r.Counter("harness_failed_cells_total"),
+		quarantines: r.Counter("harness_quarantines_total"),
+		cellNs:      r.Histogram("harness_cell_ns", nil),
+		prepareNs:   r.Histogram("harness_prepare_ns", nil),
+		measureNs:   r.Histogram("harness_measure_ns", nil),
+		decodeNs:    r.Histogram("store_decode_ns", nil),
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The registry hot path — bumping existing metrics — must stay
+// allocation-free; these benchmarks are gated in CI via benchgate
+// against ci/BENCH_obs.json.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterLookupInc(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("c_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("c_total").Inc()
+	}
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("g")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_ns", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xffffff))
+	}
+}
+
+func BenchmarkObsSpanStartEnd(b *testing.B) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "op")
+		s.End()
+		if tr.Spans() >= maxSpans-2 {
+			b.StopTimer()
+			tr = NewTracer()
+			ctx = ContextWithTracer(context.Background(), tr)
+			b.StartTimer()
+		}
+	}
+}

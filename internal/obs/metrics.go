@@ -1,0 +1,451 @@
+// Package obs is the observability layer: a dependency-free, race-safe
+// metrics registry (counters, gauges, histograms with fixed log-spaced
+// buckets) and a span tracer with JSONL and Chrome trace-event exporters.
+//
+// Everything is nil-tolerant by design: a nil *Registry hands out nil
+// metrics, and every method on a nil Counter/Gauge/Histogram/Span/Tracer
+// is a no-op. Instrumented code therefore never guards call sites — the
+// uninstrumented path costs one nil check per operation and allocates
+// nothing.
+//
+// Metric names follow the Prometheus convention, layer-prefixed
+// (harness_*, store_*, sched_*, faults_*, http_*, jobs_*); the full
+// naming scheme is documented in DESIGN.md §10. Labels are rendered into
+// the name with Name(), so each label combination is its own time series
+// object and hot-path lookups stay a single map read.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. All methods are safe for
+// concurrent use and safe on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. All methods are safe for
+// concurrent use and safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by d, which may be negative (no-op on nil).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets chosen at creation.
+// Observe is allocation-free and safe for concurrent use; all methods are
+// safe on a nil receiver.
+type Histogram struct {
+	// bounds are the inclusive upper bounds, ascending; counts has one
+	// extra slot for the +Inf bucket.
+	bounds  []float64
+	counts  []atomic.Int64
+	n       atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Hand-rolled binary search: first bound >= v, +Inf slot otherwise.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values (zero on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LogBuckets returns upper bounds spaced geometrically from min to at
+// least max with perDecade bounds per factor of ten. perDecade 3 yields
+// the classic 1-2-5 sequence (the ratios are exactly 2, 2.5, 2 rather
+// than 10^(1/3), keeping the bounds human-readable). min must be > 0.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max < min || perDecade < 1 {
+		panic(fmt.Sprintf("obs: invalid LogBuckets(%g, %g, %d)", min, max, perDecade))
+	}
+	steps125 := []float64{1, 2, 5}
+	var out []float64
+	if perDecade == 3 {
+		decade := math.Pow(10, math.Floor(math.Log10(min)))
+		for b := 0; ; b++ {
+			v := decade * steps125[b%3]
+			if b > 0 && b%3 == 0 {
+				decade *= 10
+				v = decade
+			}
+			if v < min {
+				continue
+			}
+			out = append(out, v)
+			if v >= max {
+				return out
+			}
+		}
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	for v := min; ; v *= ratio {
+		out = append(out, v)
+		if v >= max {
+			return out
+		}
+	}
+}
+
+// DefaultLatencyBuckets spans 100ns to 100s in 1-2-5 steps — wide enough
+// for everything from a registry op to a full grid run, observed in
+// nanoseconds.
+var DefaultLatencyBuckets = LogBuckets(100, 100e9, 3)
+
+// Name renders a metric name with label pairs in Prometheus form, sorted
+// by key: Name("http_requests_total", "route", "/v1/grid", "code", "200")
+// is `http_requests_total{code="200",route="/v1/grid"}`. Values are
+// escaped per the exposition format. With no pairs it returns base.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: Name requires key/value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry hands out named metrics, creating each on first use. The zero
+// value is not usable — call NewRegistry — but a nil *Registry is: it
+// returns nil metrics whose methods no-op, so instrumentation can be left
+// unconditional. Metric creation takes a mutex; operations on the metrics
+// themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds if needed; nil bounds means DefaultLatencyBuckets. An
+// existing histogram's bounds win — the bounds argument only matters on
+// first creation. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the named counter's value, zero if it was never
+// created — a read-only convenience for tests and status endpoints that
+// must not instantiate series as a side effect.
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// CounterSnapshot is one counter in a Snapshot.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge in a Snapshot.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram in a Snapshot. Counts[i] is the
+// (non-cumulative) count of the bucket with upper bound Bounds[i]; the
+// final extra slot of Counts is the +Inf bucket.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a deterministic point-in-time view of a registry: every
+// slice sorted by metric name, equal runs yielding equal snapshots.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric, sorted by name. Individual metric reads
+// are atomic; the snapshot as a whole is not a consistent cut under
+// concurrent writes (no metrics-wide lock exists to take one).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Name:   name,
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one # TYPE line per
+// family, histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	lastFam := ""
+	typeLine := func(name, kind string) error {
+		fam := name
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		if fam == lastFam {
+			return nil
+		}
+		lastFam = fam
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := typeLine(c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	lastFam = ""
+	for _, g := range s.Gauges {
+		if err := typeLine(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	lastFam = ""
+	for _, h := range s.Histograms {
+		if err := typeLine(h.Name, "histogram"); err != nil {
+			return err
+		}
+		// Splice the histogram's own labels (if any) ahead of le; _sum and
+		// _count keep them verbatim.
+		base, inner, suffix := h.Name, "", ""
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = h.Name[:i]
+			inner = h.Name[i+1:len(h.Name)-1] + ","
+			suffix = "{" + h.Name[i+1:len(h.Name)-1] + "}"
+		}
+		cum := int64(0)
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, inner, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

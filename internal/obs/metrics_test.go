@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatalf("second lookup returned a different counter")
+	}
+	g := r.Gauge("temp")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	if r.CounterValue("x_total") != 5 {
+		t.Fatalf("CounterValue(x_total) = %d", r.CounterValue("x_total"))
+	}
+	if r.CounterValue("never_created") != 0 {
+		t.Fatalf("CounterValue of absent counter should be 0")
+	}
+	// The read-only accessor must not create the series.
+	if n := len(r.Snapshot().Counters); n != 1 {
+		t.Fatalf("snapshot has %d counters, want 1", n)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil metric reads must be zero")
+	}
+	if r.CounterValue("a") != 0 {
+		t.Fatalf("nil registry CounterValue must be 0")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 99, 100.5, 2000, 1e9} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	snap := r.Snapshot().Histograms[0]
+	// Upper bounds are inclusive: 5 and 10 land in le=10; 11 and 99 in
+	// le=100; 100.5 in le=1000; 2000 and 1e9 overflow to +Inf.
+	want := []int64{2, 2, 1, 2}
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", snap.Counts, want)
+	}
+	wantSum := 5 + 10 + 11 + 99 + 100.5 + 2000 + 1e9
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+	// Re-requesting with different bounds returns the existing histogram.
+	if r.Histogram("lat_ns", []float64{1}) != h {
+		t.Fatalf("second Histogram lookup must return the original")
+	}
+}
+
+func TestLogBuckets125(t *testing.T) {
+	got := LogBuckets(100, 10000, 3)
+	want := []float64{100, 200, 500, 1000, 2000, 5000, 10000}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LogBuckets(100, 10000, 3) = %v, want %v", got, want)
+	}
+	if n := len(DefaultLatencyBuckets); n == 0 || DefaultLatencyBuckets[0] != 100 || DefaultLatencyBuckets[n-1] < 100e9 {
+		t.Fatalf("DefaultLatencyBuckets malformed: %v", DefaultLatencyBuckets)
+	}
+}
+
+func TestNameSortsAndEscapesLabels(t *testing.T) {
+	got := Name("http_requests_total", "route", "/v1/grid", "code", "200")
+	want := `http_requests_total{code="200",route="/v1/grid"}`
+	if got != want {
+		t.Fatalf("Name = %s, want %s", got, want)
+	}
+	if Name("plain") != "plain" {
+		t.Fatalf("Name with no labels must return the base")
+	}
+	got = Name("m", "k", "a\"b\\c\nd")
+	want = `m{k="a\"b\\c\nd"}`
+	if got != want {
+		t.Fatalf("escaped Name = %s, want %s", got, want)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Insertion order differs from name order on purpose.
+		r.Counter("z_total").Add(3)
+		r.Counter("a_total").Add(1)
+		r.Gauge("m").Set(2)
+		r.Histogram("h_ns", []float64{1, 10}).Observe(5)
+		return r.Snapshot()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("equal runs produced unequal snapshots:\n%v\n%v", a, b)
+	}
+	if a.Counters[0].Name != "a_total" || a.Counters[1].Name != "z_total" {
+		t.Fatalf("counters not sorted: %v", a.Counters)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total").Add(7)
+	r.Counter(Name("hits_total", "route", "/x")).Add(2)
+	r.Gauge("temp").Set(1.5)
+	r.Histogram(Name("lat_ns", "route", "/x"), []float64{10, 100}).Observe(50)
+	r.Histogram("plain_ns", []float64{10}).Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE hits_total counter\n",
+		`hits_total{route="/x"} 2` + "\n",
+		"# TYPE req_total counter\nreq_total 7\n",
+		"# TYPE temp gauge\ntemp 1.5\n",
+		"# TYPE lat_ns histogram\n",
+		`lat_ns_bucket{route="/x",le="10"} 0` + "\n",
+		`lat_ns_bucket{route="/x",le="100"} 1` + "\n",
+		`lat_ns_bucket{route="/x",le="+Inf"} 1` + "\n",
+		`lat_ns_sum{route="/x"} 50` + "\n",
+		`lat_ns_count{route="/x"} 1` + "\n",
+		"plain_ns_bucket{le=\"10\"} 1\n",
+		"plain_ns_sum 3\n",
+		"plain_ns_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q; got:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family even with multiple label sets.
+	if n := strings.Count(out, "# TYPE lat_ns "); n != 1 {
+		t.Fatalf("lat_ns TYPE lines = %d, want 1", n)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_ns", nil).Observe(float64(i))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue("c_total"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("h_ns", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_ns", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(12345)
+	}); n != 0 {
+		t.Fatalf("metric ops allocate %v per run, want 0", n)
+	}
+	// Lookup of an existing metric must not allocate either (hot paths may
+	// re-resolve by name).
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Counter("c_total").Inc()
+	}); n != 0 {
+		t.Fatalf("counter lookup allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// maxSpans bounds a tracer's memory: spans started beyond it are dropped
+// (StartSpan returns a nil span, which every method tolerates) and counted
+// in Dropped. A grid cell costs ~4 spans, so the cap covers runs six
+// orders of magnitude past the full 180-cell grid.
+const maxSpans = 1 << 20
+
+// Tracer records spans — named time intervals with parent linkage and
+// attributes — for one run. Parenthood flows through context.Context:
+// StartSpan reads its parent from ctx and returns a derived ctx carrying
+// the new span. A nil *Tracer is valid everywhere and records nothing.
+//
+// Spans are kept in memory (bounded by an internal cap) and exported
+// after the run with WriteJSONL or WriteChromeTrace. Exporters emit
+// completed spans only; OpenSpans reports how many are still running —
+// zero after a clean shutdown, even a cancelled one, because every
+// instrumented site ends its spans via defer.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	seq     uint64
+	spans   []*Span
+	open    int
+	lanes   []int // open-span count per export lane
+	dropped int64
+}
+
+// Span is one recorded interval. Created by StartSpan; closed exactly
+// once by End (later calls no-op). All methods tolerate a nil receiver.
+type Span struct {
+	tr       *Tracer
+	id       uint64
+	parent   uint64
+	lane     int
+	depth    int
+	name     string
+	start    time.Duration
+	end      time.Duration
+	attrs    []Attr
+	finished bool
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+type tracerCtxKey struct{}
+type spanCtxKey struct{}
+
+// ContextWithTracer returns a context carrying t; StartSpan on that
+// context (and its descendants) records into t. A nil t returns ctx
+// unchanged.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerCtxKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the context's tracer, parented to the
+// context's current span, and returns a derived context carrying the new
+// span. With no tracer in ctx it returns (ctx, nil) and records nothing.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return TracerFrom(ctx).StartSpan(ctx, name, attrs...)
+}
+
+// StartSpan opens a span on t, parented to the span carried by ctx (root
+// if none), and returns a derived context carrying it. On a nil tracer it
+// returns (ctx, nil).
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	now := time.Since(t.epoch)
+
+	t.mu.Lock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return ctx, nil
+	}
+	t.seq++
+	s := &Span{tr: t, id: t.seq, name: name, start: now, attrs: attrs}
+	if parent != nil {
+		s.parent = parent.id
+		s.depth = parent.depth + 1
+	}
+	// Lane assignment for the Chrome export: a child rides its parent's
+	// lane when only its ancestor chain is open there (so sequential
+	// children of one cell stack on one row); otherwise — concurrent
+	// siblings, new roots — it takes the lowest idle lane. A lane with no
+	// open spans holds only spans that already ended, so reuse never
+	// overlaps intervals.
+	lane := -1
+	if parent != nil && !parent.finished && parent.lane < len(t.lanes) && t.lanes[parent.lane] == parent.depth+1 {
+		lane = parent.lane
+	} else {
+		for i, n := range t.lanes {
+			if n == 0 {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(t.lanes)
+			t.lanes = append(t.lanes, 0)
+		}
+	}
+	s.lane = lane
+	t.lanes[lane]++
+	t.open++
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// End closes the span. Safe to call multiple times and on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.tr.epoch)
+	s.tr.mu.Lock()
+	if !s.finished {
+		s.finished = true
+		s.end = now
+		s.tr.lanes[s.lane]--
+		s.tr.open--
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr adds an attribute to the span (no-op on nil).
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: k, Value: v})
+	s.tr.mu.Unlock()
+}
+
+// OpenSpans returns the number of started-but-unended spans — zero in a
+// well-formed trace once the traced run has returned.
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open
+}
+
+// Spans returns the number of completed spans.
+func (t *Tracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans) - t.open
+}
+
+// Dropped returns how many spans were discarded at the memory cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// jsonlSpan is the WriteJSONL wire form.
+type jsonlSpan struct {
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per completed span, in start order:
+// {"id":…,"parent":…,"name":…,"start_ns":…,"dur_ns":…,"attrs":{…}}.
+// Open spans are skipped (check OpenSpans before exporting). No-op on a
+// nil tracer.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, s := range t.spans {
+		if !s.finished {
+			continue
+		}
+		js := jsonlSpan{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartNs: s.start.Nanoseconds(),
+			DurNs:   (s.end - s.start).Nanoseconds(),
+		}
+		if len(s.attrs) > 0 {
+			js.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				js.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
+// and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the completed spans in the Chrome trace-event
+// JSON format — load the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Spans are laid out on synthetic "threads": a span
+// shares its parent's row when they nest sequentially, concurrent spans
+// get rows of their own, so a W-worker grid renders as ~W swimlanes.
+// No-op on a nil tracer.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := make([]chromeEvent, 0, len(t.spans))
+	for _, s := range t.spans {
+		if !s.finished {
+			continue
+		}
+		ev := chromeEvent{
+			Name: s.name,
+			Cat:  "opendwarfs",
+			Ph:   "X",
+			Ts:   float64(s.start.Nanoseconds()) / 1e3,
+			Dur:  float64((s.end - s.start).Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.lane + 1,
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanParentLinkageThroughContext(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatalf("TracerFrom lost the tracer")
+	}
+
+	ctx1, root := StartSpan(ctx, "grid", Int("cells", 4))
+	ctx2, cell := StartSpan(ctx1, "cell", String("bench", "crc"))
+	_, meas := StartSpan(ctx2, "measure")
+	meas.End()
+	cell.SetAttr("outcome", "measured")
+	cell.End()
+	root.End()
+
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("open spans = %d, want 0", tr.OpenSpans())
+	}
+	if tr.Spans() != 3 {
+		t.Fatalf("completed spans = %d, want 3", tr.Spans())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type line struct {
+		ID      uint64            `json:"id"`
+		Parent  uint64            `json:"parent"`
+		Name    string            `json:"name"`
+		StartNs int64             `json:"start_ns"`
+		DurNs   int64             `json:"dur_ns"`
+		Attrs   map[string]string `json:"attrs"`
+	}
+	var lines []line
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(lines))
+	}
+	byName := map[string]line{}
+	for _, l := range lines {
+		byName[l.Name] = l
+	}
+	if byName["grid"].Parent != 0 {
+		t.Fatalf("grid span must be a root")
+	}
+	if byName["cell"].Parent != byName["grid"].ID {
+		t.Fatalf("cell parent = %d, want grid id %d", byName["cell"].Parent, byName["grid"].ID)
+	}
+	if byName["measure"].Parent != byName["cell"].ID {
+		t.Fatalf("measure parent = %d, want cell id %d", byName["measure"].Parent, byName["cell"].ID)
+	}
+	if byName["grid"].Attrs["cells"] != "4" || byName["cell"].Attrs["bench"] != "crc" {
+		t.Fatalf("attrs lost: %v", byName)
+	}
+	if byName["cell"].Attrs["outcome"] != "measured" {
+		t.Fatalf("SetAttr lost: %v", byName["cell"].Attrs)
+	}
+	if byName["measure"].DurNs < 0 || byName["cell"].StartNs < byName["grid"].StartNs {
+		t.Fatalf("span timing inconsistent: %+v", lines)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoOp(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "orphan")
+	if s != nil {
+		t.Fatalf("StartSpan without a tracer must return a nil span")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+
+	var tr *Tracer
+	if _, s := tr.StartSpan(context.Background(), "x"); s != nil {
+		t.Fatalf("nil tracer StartSpan must return nil span")
+	}
+	if tr.OpenSpans() != 0 || tr.Spans() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer accessors must be zero")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.StartSpan(ContextWithTracer(context.Background(), tr), "x")
+	s.End()
+	s.End()
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("open = %d after double End", tr.OpenSpans())
+	}
+	if tr.Spans() != 1 {
+		t.Fatalf("spans = %d, want 1", tr.Spans())
+	}
+}
+
+func TestChromeTraceLanes(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	// Two concurrent root spans must land on different lanes; each child
+	// shares its parent's lane.
+	ctx1, a := StartSpan(ctx, "worker-a")
+	ctx2, b := StartSpan(ctx, "worker-b")
+	_, ac := StartSpan(ctx1, "a-child")
+	_, bc := StartSpan(ctx2, "b-child")
+	ac.End()
+	bc.End()
+	a.End()
+	b.End()
+	// A root started after everything ended reuses a free lane.
+	_, c := StartSpan(ctx, "late")
+	c.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	tid := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 {
+			t.Fatalf("event %+v must be a complete event on pid 1", ev)
+		}
+		tid[ev.Name] = ev.Tid
+	}
+	if tid["worker-a"] == tid["worker-b"] {
+		t.Fatalf("concurrent roots share lane %d", tid["worker-a"])
+	}
+	if tid["a-child"] != tid["worker-a"] || tid["b-child"] != tid["worker-b"] {
+		t.Fatalf("children must share their parent's lane: %v", tid)
+	}
+	if tid["late"] != tid["worker-a"] && tid["late"] != tid["worker-b"] {
+		t.Fatalf("late root should reuse a freed lane, got %v", tid)
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := NewTracer()
+	root := ContextWithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, s := StartSpan(root, "op", Int("worker", w))
+				_, c := StartSpan(ctx, "inner")
+				c.SetAttr("i", "x")
+				c.End()
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("open = %d, want 0", tr.OpenSpans())
+	}
+	if tr.Spans() != 8*200*2 {
+		t.Fatalf("spans = %d, want %d", tr.Spans(), 8*200*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatalf("chrome trace missing traceEvents")
+	}
+}
+
+func TestExportSkipsOpenSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	_, done := StartSpan(ctx, "done")
+	done.End()
+	_, open := StartSpan(ctx, "open")
+	_ = open
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"name":"done"`) || strings.Contains(out, `"name":"open"`) {
+		t.Fatalf("JSONL must contain only completed spans:\n%s", out)
+	}
+	if tr.OpenSpans() != 1 {
+		t.Fatalf("open = %d, want 1", tr.OpenSpans())
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"opendwarfs/internal/harness"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/predict"
 	"opendwarfs/internal/sim"
 )
@@ -85,8 +87,14 @@ func StreamCells(ctx context.Context, run Streamer, benchmarks, sizes, devices [
 // scheduling round resolves them as measured. Cancelling ctx stops between
 // cells; the returned grid holds whatever completed, alongside the error.
 func Execute(ctx context.Context, run Streamer, s *Schedule) (*harness.Grid, error) {
+	groups := cellGroups(s)
+	// The span (and, through the derived ctx, the cell spans of each
+	// group's grid run) lands on whatever tracer the caller put in ctx
+	// via obs.ContextWithTracer; without one this is a no-op.
+	ctx, span := obs.StartSpan(ctx, "sched.execute", obs.Int("groups", len(groups)))
+	defer span.End()
 	out := &harness.Grid{}
-	for _, g := range cellGroups(s) {
+	for _, g := range groups {
 		sub, err := StreamCells(ctx, run, []string{g.bench}, []string{g.size}, g.devices)
 		out.Merge(sub)
 		if err != nil {
@@ -164,7 +172,10 @@ func ExecuteResilient(ctx context.Context, run Streamer, s *Schedule, pol Policy
 			}
 		}
 		out.Quarantined = unionSorted(out.Quarantined, fresh)
+		_, rspan := obs.StartSpan(ctx, "sched.repair",
+			obs.Int("pass", pass), obs.Int("dead", len(out.Quarantined)))
 		repaired, rerr := cur.Repair(out.Quarantined, pol, costs, opt)
+		rspan.End()
 		if rerr != nil {
 			return out, rerr
 		}
@@ -251,6 +262,15 @@ type LoopParams struct {
 	Oracle *Schedule
 	Truth  CostProvider
 	Rounds int
+	// Metrics, when non-nil, receives the loop's scheduler metrics:
+	// sched_rounds_total, sched_replans_total, sched_replan_ns (cost
+	// re-training + policy run per round), sched_slots_predicted_total /
+	// sched_slots_measured_total (cost sources of each round's plan),
+	// sched_repairs_total / sched_migrated_tasks_total, and — with an
+	// oracle — the sched_regret_pct / sched_best_regret_pct gauges.
+	// Harness-level metrics flow through the Streamer's own registry
+	// (e.g. the session's WithMetrics), not through this field.
+	Metrics *obs.Registry
 }
 
 // OnlineLoop alternates schedule → execute → re-train for the configured
@@ -276,23 +296,38 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 	// round; p.Fleet itself is not mutated.
 	fleet := append([]*sim.DeviceSpec(nil), p.Fleet...)
 	for r := 0; r < p.Rounds; r++ {
+		rctx, rspan := obs.StartSpan(ctx, "sched.round", obs.Int("round", r))
+		p.Metrics.Counter("sched_rounds_total").Inc()
+		// Replanning = cost re-training + the policy run; both are timed
+		// together since that is the latency a replan costs the loop.
+		planStart := time.Now()
+		_, pspan := obs.StartSpan(rctx, "sched.plan")
 		costs := p.Costs
 		if r > 0 || costs == nil {
 			var err error
 			if costs, err = NewCosts(known, p.Forest); err != nil {
+				pspan.End()
+				rspan.End()
 				return res, fmt.Errorf("sched: round %d: %w", r, err)
 			}
 			costs.AdoptProfiles(prev)
 		}
 		prev = costs
 		if missing := costs.MissingRows(p.Workload); len(missing) > 0 {
+			pspan.End()
+			rspan.End()
 			return res, fmt.Errorf("sched: round %d: no measurements or characterisation for %v", r, missing)
 		}
 		s, err := p.Policy.Schedule(p.Workload, fleet, costs, p.Sched)
+		pspan.End()
+		p.Metrics.Histogram("sched_replan_ns", nil).Observe(float64(time.Since(planStart)))
+		p.Metrics.Counter("sched_replans_total").Inc()
 		if err != nil {
+			rspan.End()
 			return res, fmt.Errorf("sched: round %d: %w", r, err)
 		}
-		outc, err := ExecuteResilient(ctx, p.Stream, s, p.Policy, costs, p.Sched)
+		outc, err := ExecuteResilient(rctx, p.Stream, s, p.Policy, costs, p.Sched)
+		rspan.End()
 		if outc != nil && outc.Grid != nil {
 			known.Merge(outc.Grid)
 		}
@@ -317,6 +352,12 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 			fleet = kept
 			res.Quarantined = unionSorted(res.Quarantined, outc.Quarantined)
 		}
+		// Slot-source counters track the schedule in force at round end
+		// (the repaired one after a quarantine), matching Round's report.
+		p.Metrics.Counter("sched_slots_predicted_total").Add(int64(s.Predicted))
+		p.Metrics.Counter("sched_slots_measured_total").Add(int64(s.Measured))
+		p.Metrics.Counter("sched_repairs_total").Add(int64(outc.Repairs))
+		p.Metrics.Counter("sched_migrated_tasks_total").Add(int64(outc.MigratedTasks))
 		round := Round{
 			Index: r, Schedule: s,
 			Predicted: s.Predicted, Measured: s.Measured,
@@ -337,6 +378,8 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 				best = round.RegretPct
 			}
 			round.BestRegretPct = best
+			p.Metrics.Gauge("sched_regret_pct").Set(round.RegretPct)
+			p.Metrics.Gauge("sched_best_regret_pct").Set(best)
 		}
 		res.Rounds = append(res.Rounds, round)
 	}

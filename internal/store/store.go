@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"opendwarfs/internal/obs"
 )
 
 const (
@@ -58,6 +60,22 @@ type Store struct {
 	seg      *os.File
 	segPath  string
 	replayed []string // snapshot + segment files loaded at Open, compaction input
+
+	// Write-path metrics, set by Instrument; nil (no-op) by default. Guarded
+	// by wmu, which every reader (Put, Compact) already holds.
+	appends     *obs.Counter
+	compactions *obs.Counter
+}
+
+// Instrument registers write-path metrics on reg: store_appends_total
+// (records appended to segments) and store_compactions_total (snapshot
+// rewrites). Safe to call at any time, including concurrently with Put;
+// a nil registry de-instruments.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.appends = reg.Counter("store_appends_total")
+	s.compactions = reg.Counter("store_compactions_total")
 }
 
 // Open loads (creating if necessary) the store at dir.
@@ -174,6 +192,7 @@ func (s *Store) Put(rec Record) error {
 	if _, err := s.seg.Write(line); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.appends.Inc()
 	// Publish while still holding wmu: the index update must be ordered
 	// with the segment append, or a concurrent Compact could snapshot
 	// without this record yet delete the segment that carries it, and two
@@ -312,6 +331,7 @@ func (s *Store) Compact() error {
 		}
 	}
 	s.replayed = []string{filepath.Join(s.dir, snapshotName)}
+	s.compactions.Inc()
 	return nil
 }
 

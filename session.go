@@ -8,6 +8,7 @@ import (
 	"opendwarfs/internal/dwarfs"
 	"opendwarfs/internal/faults"
 	"opendwarfs/internal/harness"
+	"opendwarfs/internal/obs"
 	"opendwarfs/internal/opencl"
 	"opendwarfs/internal/store"
 	"opendwarfs/internal/suite"
@@ -55,6 +56,21 @@ type FaultInjector = faults.Injector
 // FaultInjector implementation.
 type FaultPlan = faults.Plan
 
+// Metrics re-exports the race-safe metrics registry; see WithMetrics.
+type Metrics = obs.Registry
+
+// Tracer re-exports the span tracer; see WithTracer.
+type Tracer = obs.Tracer
+
+// NewMetrics returns an empty metrics registry to attach via WithMetrics.
+// Snapshot it, or render it with its WritePrometheus method, after (or
+// during) runs.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer returns an empty span tracer to attach via WithTracer. Export
+// collected spans with its WriteJSONL or WriteChromeTrace methods.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
 // Session is the context-aware entry point to the suite: a configured
 // measurement environment (methodology options, worker pool, optional
 // persistent store) whose Run/RunGrid/Stream methods all honour
@@ -67,6 +83,8 @@ type Session struct {
 	workers int
 	faults  faults.Injector
 	retry   harness.RetryPolicy
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 
 	mu     sync.Mutex // guards st/ownsSt against a concurrent Close
 	st     *store.Store
@@ -193,6 +211,26 @@ func WithRetry(r RetryPolicy) Option {
 	}
 }
 
+// WithMetrics attaches a metrics registry: every grid the session runs
+// derives harness counters and latency histograms into it (see package
+// internal/obs for the metric families). Counters agree exactly with the
+// typed event stream and the returned Grid, including partial grids under
+// cancellation. One registry may be shared by many sessions; counts then
+// aggregate. nil detaches metrics (the default).
+func WithMetrics(m *Metrics) Option {
+	return func(s *Session) error { s.metrics = m; return nil }
+}
+
+// WithTracer attaches a span tracer: grids record a harness.grid root
+// with per-cell prepare/measure child spans, closed even under
+// cancellation. Export with Tracer.WriteJSONL or WriteChromeTrace (the
+// latter loads in Perfetto / chrome://tracing). nil (the default) falls
+// back to any tracer carried by the run's context via
+// obs.ContextWithTracer; absent both, tracing is off.
+func WithTracer(tr *Tracer) Option {
+	return func(s *Session) error { s.tracer = tr; return nil }
+}
+
 // WithOptions replaces the session's measurement options wholesale — the
 // migration path for code that already builds an Options value. Later
 // With* options still apply on top.
@@ -252,6 +290,8 @@ func (s *Session) spec(sel Selection) harness.GridSpec {
 		Store:      st,
 		Faults:     s.faults,
 		Retry:      s.retry,
+		Metrics:    s.metrics,
+		Tracer:     s.tracer,
 	}
 }
 

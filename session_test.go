@@ -165,3 +165,59 @@ func TestSessionStreamAndCancellation(t *testing.T) {
 			g.StoreHits, terminal.Grid.Cells())
 	}
 }
+
+func TestSessionMetricsAndTracer(t *testing.T) {
+	reg := NewMetrics()
+	tr := NewTracer()
+	sess, err := NewSession(
+		WithSamples(6),
+		WithFunctionalBudget(0),
+		WithStore(t.TempDir()),
+		WithMetrics(reg),
+		WithTracer(tr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	sel := Selection{
+		Benchmarks: []string{"crc", "fft"},
+		Sizes:      []string{"tiny"},
+		Devices:    []string{"i7-6700k", "gtx1080"},
+	}
+	g, err := sess.RunGrid(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("harness_cells_total"); got != int64(g.Cells()) {
+		t.Errorf("harness_cells_total = %d, want %d", got, g.Cells())
+	}
+	if got := reg.CounterValue("harness_store_misses_total"); got != int64(g.StoreMisses) {
+		t.Errorf("harness_store_misses_total = %d, want %d", got, g.StoreMisses)
+	}
+	if tr.Spans() == 0 || tr.OpenSpans() != 0 {
+		t.Fatalf("tracer: %d spans, %d open", tr.Spans(), tr.OpenSpans())
+	}
+
+	// A second grid through the same session aggregates into the same
+	// registry and traces into the same tracer.
+	before := tr.Spans()
+	g2, err := sess.RunGrid(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.StoreHits != g.Cells() {
+		t.Fatalf("re-run hits = %d, want %d", g2.StoreHits, g.Cells())
+	}
+	want := int64(g.Cells() + g2.Cells())
+	if got := reg.CounterValue("harness_cells_total"); got != want {
+		t.Errorf("aggregated harness_cells_total = %d, want %d", got, want)
+	}
+	if tr.Spans() <= before {
+		t.Fatalf("second run added no spans (%d -> %d)", before, tr.Spans())
+	}
+	if got := reg.CounterValue("harness_store_hits_total"); got != int64(g2.StoreHits) {
+		t.Errorf("harness_store_hits_total = %d, want %d", got, g2.StoreHits)
+	}
+}
