@@ -82,11 +82,18 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.Samples = *samples
 
-	var st *store.Store
+	// The store rides behind the zero-copy slot cache: repeated single-cell
+	// runs against a warm store decode each cell at most once per process.
+	// st stays a concrete pointer so the nil check below is meaningful —
+	// assigning a typed-nil pointer into GridSpec.Store would read as "store
+	// attached".
+	var st *store.CachedStore
 	if *storeDir != "" {
-		if st, err = store.Open(*storeDir); err != nil {
+		base, err := store.Open(*storeDir)
+		if err != nil {
 			fatal(err)
 		}
+		st = store.Cached(base)
 		defer st.Close()
 	}
 
@@ -117,7 +124,7 @@ func main() {
 			Devices:    []string{dev.ID()},
 			Options:    opt,
 			Workers:    1,
-			Store:      st,
+			Store:      st, // non-nil: guarded above
 		})
 		if err != nil {
 			fatal(err)
@@ -181,18 +188,21 @@ func sizeList(flagVal string, b dwarfs.Benchmark) []string {
 
 // runSizes measures one benchmark × device across several sizes through
 // the grid harness, sharing one preparation per size across workers.
-func runSizes(ctx context.Context, reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool, st *store.Store) {
+func runSizes(ctx context.Context, reg *dwarfs.Registry, b dwarfs.Benchmark, sizes []string, dev *opencl.Device, opt harness.Options, workers int, csvPath, jsonlPath string, aiwc bool, st *store.CachedStore) {
 	fmt.Printf("Benchmark : %s (%s dwarf), sizes %v\n", b.Name(), b.Dwarf(), sizes)
 	fmt.Printf("Device    : %s (%s, %s)\n", dev.Name(), dev.Spec.Class, dev.Spec.Series)
-	g, err := harness.RunGrid(ctx, reg, harness.GridSpec{
+	spec := harness.GridSpec{
 		Benchmarks: []string{b.Name()},
 		Sizes:      sizes,
 		Devices:    []string{dev.ID()},
 		Options:    opt,
 		Workers:    workers,
 		Progress:   os.Stdout,
-		Store:      st,
-	})
+	}
+	if st != nil {
+		spec.Store = st
+	}
+	g, err := harness.RunGrid(ctx, reg, spec)
 	if err != nil {
 		fatal(err)
 	}

@@ -84,10 +84,11 @@ func main() {
 		Progress:   progW,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		base, err := store.Open(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
+		st := store.Cached(base)
 		defer st.Close()
 		spec.Store = st
 	}

@@ -304,11 +304,14 @@ func (s *server) runJob(j *job, events <-chan harness.Event) {
 			state, errMsg = jobFailed, ev.Err.Error()
 		}
 		// Reload even on cancellation or failure: any cells that did
-		// complete are in the store and should be served.
+		// complete are in the store and should be served. The reload is
+		// also the -compact-over enforcement point — the store only grows
+		// when jobs land cells.
 		if ev.Grid == nil || ev.Grid.Cells() > 0 {
 			if err := s.reloadFromStore(); err != nil {
 				state, errMsg = jobFailed, err.Error()
 			}
+			s.maybeCompact()
 		}
 		wev := toWire(ev)
 		if ev.Grid == nil {

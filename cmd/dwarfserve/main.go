@@ -49,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -58,6 +59,8 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -73,13 +76,15 @@ import (
 func main() {
 	def := predict.DefaultConfig()
 	var (
-		storeDir = flag.String("store", "", "persistent result store directory (required)")
-		addr     = flag.String("addr", ":7077", "listen address")
-		trees    = flag.Int("trees", def.Trees, "forest size for /v1/predict")
-		depth    = flag.Int("depth", def.MaxDepth, "maximum tree depth for /v1/predict")
-		seed     = flag.Int64("seed", def.Seed, "training seed for /v1/predict")
-		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+		storeDir    = flag.String("store", "", "persistent result store directory (required)")
+		shards      = flag.Int("shards", 1, "shard count for -store: >1 serves an n-way sharded store (shard-NN subdirectories, as written by dwarfsweep -shards)")
+		compactOver = flag.Int64("compact-over", 0, "compact the store after a job reload whenever its on-disk footprint exceeds this many bytes (0 = never)")
+		addr        = flag.String("addr", ":7077", "listen address")
+		trees       = flag.Int("trees", def.Trees, "forest size for /v1/predict")
+		depth       = flag.Int("depth", def.MaxDepth, "maximum tree depth for /v1/predict")
+		seed        = flag.Int64("seed", def.Seed, "training seed for /v1/predict")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -87,20 +92,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	st, err := store.Open(*storeDir)
+	// The store is wrapped in the zero-copy slot cache before anything reads
+	// it: the initial snapshot load, every job, and every reload all share
+	// one decoded measurement per cell, and the cache's hit/miss/evict
+	// counters are complete from process start.
+	var inner store.CellStore
+	var err error
+	if *shards > 1 {
+		inner, err = store.OpenSharded(*storeDir, *shards)
+	} else {
+		inner, err = store.Open(*storeDir)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
 		os.Exit(1)
 	}
-	grid, err := harness.GridFromStore(st)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
-		os.Exit(1)
-	}
+	st := store.Cached(inner)
 	cfg := def
 	cfg.Trees, cfg.MaxDepth, cfg.Seed = *trees, *depth, *seed
 
-	srv := newServer(st, grid, cfg)
+	srv, err := newServer(st, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+		os.Exit(1)
+	}
+	srv.compactOver = *compactOver
 	if *pprofOn {
 		srv.enablePprof()
 	}
@@ -110,8 +126,8 @@ func main() {
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	log.Printf("dwarfserve: %d cells from %s (%d segment files), listening on %s",
-		grid.Cells(), *storeDir, st.Segments(), *addr)
+	log.Printf("dwarfserve: %d cells from %s (%d shard(s), %d segment files), listening on %s",
+		srv.cells(), *storeDir, *shards, store.SegmentsOf(st), *addr)
 
 	select {
 	case err := <-serveErr:
@@ -144,11 +160,12 @@ func main() {
 // handlers see new cells without a restart; sweeps run by other processes
 // still become visible on restart only.
 type server struct {
-	st      *store.Store
-	mux     *http.ServeMux
-	cfg     predict.Config
-	metrics *obs.Registry // one registry for HTTP, store, jobs and gauges
-	started time.Time     // process start, for /v1/status uptime
+	st          store.CellStore
+	compactOver int64 // post-reload footprint bound in bytes; 0 = unbounded
+	mux         *http.ServeMux
+	cfg         predict.Config
+	metrics     *obs.Registry // one registry for HTTP, store, jobs and gauges
+	started     time.Time     // process start, for /v1/status uptime
 
 	// mu guards the query snapshot: the grid, the O(1) cell index and the
 	// axes (distinct values in store listing order).
@@ -194,7 +211,7 @@ type server struct {
 
 func cellID(bench, size, device string) string { return bench + "\x00" + size + "\x00" + device }
 
-func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server {
+func newServer(st store.CellStore, cfg predict.Config) (*server, error) {
 	s := &server{
 		st:          st,
 		cfg:         cfg,
@@ -206,9 +223,13 @@ func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server 
 		keepAlive:   15 * time.Second,
 		quarantined: make(map[string]string),
 	}
-	st.Instrument(s.metrics)
+	// Instrument before the first read so the startup snapshot's slot-cache
+	// misses (and any store counters) are visible on /metrics.
+	store.InstrumentStore(st, s.metrics)
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
-	s.setGrid(grid)
+	if err := s.reloadFromStore(); err != nil {
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -222,7 +243,14 @@ func newServer(st *store.Store, grid *harness.Grid, cfg predict.Config) *server 
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	return s
+	return s, nil
+}
+
+// cells reports the current snapshot's cell count.
+func (s *server) cells() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.grid.Cells()
 }
 
 // setGrid installs a fresh query snapshot and invalidates the forest.
@@ -262,6 +290,30 @@ func (s *server) reloadFromStore() error {
 	}
 	s.setGrid(grid)
 	return nil
+}
+
+// maybeCompact enforces the -compact-over footprint bound after a job
+// reload: when the store reports a footprint above the bound, dead segment
+// files are folded into a fresh snapshot. Compaction is best-effort — a
+// failure is logged, never fatal, and the next reload tries again.
+func (s *server) maybeCompact() {
+	if s.compactOver <= 0 {
+		return
+	}
+	sb, ok := s.st.(store.SizeBounded)
+	if !ok {
+		return
+	}
+	compacted, err := sb.CompactIfOver(s.compactOver)
+	if err != nil {
+		log.Printf("dwarfserve: compact-over: %v", err)
+		return
+	}
+	if compacted {
+		bytes, _ := sb.DiskBytes()
+		log.Printf("dwarfserve: store compacted under -compact-over=%d (now %d bytes, %d segment file(s))",
+			s.compactOver, bytes, store.SegmentsOf(s.st))
+	}
 }
 
 // ServeHTTP lives in obs.go: the request/metrics/logging middleware wraps
@@ -343,20 +395,96 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// defaultCellPageLimit bounds an unpaginated /v1/cells answer; clients
+// wanting the rest follow next_cursor.
+const defaultCellPageLimit = 500
+
+// cellCursor is the keyset-pagination position of one cell: its
+// (benchmark, size, device) triple, NUL-joined so that lexicographic
+// comparison of cursors equals tuple comparison of cells — exactly the
+// canonical order the snapshot is listed in. Keyset cursors survive
+// snapshot reloads between pages: cells added behind the cursor are
+// skipped, cells added ahead of it appear, and nothing is ever repeated.
+func cellCursor(m *harness.Measurement) string {
+	return m.Benchmark + "\x00" + m.Size + "\x00" + m.Device.ID
+}
+
+func encodeCursor(c string) string { return base64.RawURLEncoding.EncodeToString([]byte(c)) }
+
+func decodeCursor(s string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil || strings.Count(string(b), "\x00") != 2 {
+		return "", fmt.Errorf("invalid cursor %q", s)
+	}
+	return string(b), nil
+}
+
+// handleCells answers filtered cell listings as a paginated envelope:
+//
+//	{"items": [...], "next_cursor": "...", "total": N}
+//
+// total counts every cell matching the filters; items holds at most limit=
+// of them (default 500) starting after cursor=; next_cursor is the opaque
+// position to resume from, empty on the last page. ?legacy=1 serves the
+// deprecated pre-pagination {"count", "cells"} shape unpaginated; it will
+// be removed once known clients have migrated (see README).
 func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	bench, size, device := q.Get("bench"), q.Get("size"), q.Get("device")
-	cells := []cellSummary{}
+	var matched []*harness.Measurement
 	s.mu.RLock()
 	for _, m := range s.grid.Measurements {
 		if (bench == "" || m.Benchmark == bench) &&
 			(size == "" || m.Size == size) &&
 			(device == "" || m.Device.ID == device) {
-			cells = append(cells, summarize(m))
+			matched = append(matched, m)
 		}
 	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(cells), "cells": cells})
+
+	if q.Get("legacy") == "1" {
+		cells := make([]cellSummary, 0, len(matched))
+		for _, m := range matched {
+			cells = append(cells, summarize(m))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"count": len(cells), "cells": cells})
+		return
+	}
+
+	limit := defaultCellPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q (want a positive integer)", v))
+			return
+		}
+		limit = n
+	}
+	start := 0
+	if cur := q.Get("cursor"); cur != "" {
+		after, err := decodeCursor(cur)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// The snapshot is in canonical (benchmark, size, device) order, so
+		// the page resumes at the first cell strictly after the cursor.
+		start = sort.Search(len(matched), func(i int) bool { return cellCursor(matched[i]) > after })
+	}
+	end := min(start+limit, len(matched))
+	items := make([]cellSummary, 0, end-start)
+	for _, m := range matched[start:end] {
+		items = append(items, summarize(m))
+	}
+	next := ""
+	if end < len(matched) {
+		next = encodeCursor(cellCursor(matched[end-1]))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"items":       items,
+		"next_cursor": next,
+		"total":       len(matched),
+	})
 }
 
 func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -17,13 +18,16 @@ import (
 )
 
 // newTestServer sweeps a tiny grid into a fresh store and serves it — the
-// same pipeline as `dwarfsweep -store` followed by `dwarfserve -store`.
+// same pipeline as `dwarfsweep -store` followed by `dwarfserve -store`: the
+// store sits behind the slot cache, and the server loads its own snapshot.
 func newTestServer(t *testing.T) (*server, *harness.Grid) {
 	t.Helper()
-	st, err := store.Open(t.TempDir())
+	base, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	st := store.Cached(base)
+	t.Cleanup(func() { st.Close() })
 	opt := harness.DefaultOptions()
 	opt.Samples = 6
 	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
@@ -37,13 +41,13 @@ func newTestServer(t *testing.T) (*server, *harness.Grid) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	served, err := harness.GridFromStore(st)
+	cfg := predict.DefaultConfig()
+	cfg.Trees = 20 // keep the /v1/predict test fast
+	srv, err := newServer(st, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := predict.DefaultConfig()
-	cfg.Trees = 20 // keep the /v1/predict test fast
-	return newServer(st, served, cfg), g
+	return srv, g
 }
 
 func get(t *testing.T, srv *server, url string, wantCode int) map[string]any {
@@ -92,15 +96,21 @@ func TestCellsFilter(t *testing.T) {
 	srv, _ := newTestServer(t)
 
 	all := get(t, srv, "/v1/cells", http.StatusOK)
-	if int(all["count"].(float64)) != 4 {
-		t.Fatalf("unfiltered count %v, want 4", all["count"])
+	if int(all["total"].(float64)) != 4 {
+		t.Fatalf("unfiltered total %v, want 4", all["total"])
+	}
+	if n := len(all["items"].([]any)); n != 4 {
+		t.Fatalf("%d items, want 4", n)
+	}
+	if all["next_cursor"] != "" {
+		t.Fatalf("single-page listing has next_cursor %v", all["next_cursor"])
 	}
 
 	one := get(t, srv, "/v1/cells?bench=fft&size=tiny&device=gtx1080", http.StatusOK)
-	if int(one["count"].(float64)) != 1 {
-		t.Fatalf("filtered count %v, want 1", one["count"])
+	if int(one["total"].(float64)) != 1 {
+		t.Fatalf("filtered total %v, want 1", one["total"])
 	}
-	cell := one["cells"].([]any)[0].(map[string]any)
+	cell := one["items"].([]any)[0].(map[string]any)
 	if cell["benchmark"] != "fft" || cell["device"] != "gtx1080" {
 		t.Fatalf("wrong cell %v", cell)
 	}
@@ -109,9 +119,62 @@ func TestCellsFilter(t *testing.T) {
 	}
 
 	none := get(t, srv, "/v1/cells?bench=nosuch", http.StatusOK)
-	if int(none["count"].(float64)) != 0 {
-		t.Fatalf("phantom cells %v", none["count"])
+	if int(none["total"].(float64)) != 0 {
+		t.Fatalf("phantom cells %v", none["total"])
 	}
+}
+
+// TestCellsPagination walks the 4-cell snapshot one cell at a time through
+// the cursor, checks the pages tile the full listing exactly, and verifies
+// the deprecated ?legacy=1 shape and limit/cursor validation.
+func TestCellsPagination(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var paged []any
+	cursor, pages := "", 0
+	for {
+		url := "/v1/cells?limit=1"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		body := get(t, srv, url, http.StatusOK)
+		if int(body["total"].(float64)) != 4 {
+			t.Fatalf("page total %v, want 4 on every page", body["total"])
+		}
+		items := body["items"].([]any)
+		if len(items) != 1 {
+			t.Fatalf("page of %d items, want 1", len(items))
+		}
+		paged = append(paged, items...)
+		pages++
+		if pages > 8 {
+			t.Fatal("cursor loop does not terminate")
+		}
+		if cursor = body["next_cursor"].(string); cursor == "" {
+			break
+		}
+	}
+	if pages != 4 {
+		t.Fatalf("walked %d pages, want 4", pages)
+	}
+
+	// The concatenated pages are exactly the unpaginated listing.
+	all := get(t, srv, "/v1/cells", http.StatusOK)
+	want, _ := json.Marshal(all["items"])
+	got, _ := json.Marshal(paged)
+	if string(got) != string(want) {
+		t.Fatalf("paged items differ from full listing:\npaged: %s\nfull:  %s", got, want)
+	}
+
+	// The deprecated shape still answers under ?legacy=1.
+	legacy := get(t, srv, "/v1/cells?legacy=1", http.StatusOK)
+	if int(legacy["count"].(float64)) != 4 || len(legacy["cells"].([]any)) != 4 {
+		t.Fatalf("legacy shape wrong: %v", legacy)
+	}
+
+	get(t, srv, "/v1/cells?limit=0", http.StatusBadRequest)
+	get(t, srv, "/v1/cells?limit=x", http.StatusBadRequest)
+	get(t, srv, "/v1/cells?cursor=%25not-base64", http.StatusBadRequest)
 }
 
 func TestGrid(t *testing.T) {
@@ -295,11 +358,10 @@ func TestJobSweepRoundTrip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	syncGrid, err := harness.GridFromStore(st2)
+	syncSrv, err := newServer(st2, predict.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	syncSrv := newServer(st2, syncGrid, predict.DefaultConfig())
 
 	rawAsync := getRaw(t, srv, "/v1/grid")
 	rawSync := getRaw(t, syncSrv, "/v1/grid")
@@ -327,7 +389,10 @@ func TestJobCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(st, &harness.Grid{}, predict.DefaultConfig())
+	srv, err := newServer(st, predict.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// The full suite across all sizes on two devices: large enough that
 	// the DELETE lands long before completion.
@@ -384,7 +449,10 @@ func TestShutdownCancelsJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(st, &harness.Grid{}, predict.DefaultConfig())
+	srv, err := newServer(st, predict.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	id := postJob(t, srv, `{"devices":["i7-6700k","gtx1080"],"samples":6}`, http.StatusAccepted)
 
 	srv.shutdownJobs() // blocks until the job settles
@@ -526,5 +594,59 @@ func TestPredictRetrainsAfterJob(t *testing.T) {
 	}
 	if int(body["training_cells"].(float64)) != 6 {
 		t.Fatalf("training_cells after job %v, want 6 (forest not retrained)", body["training_cells"])
+	}
+}
+
+// TestMetricsSlotcacheAgreesWithEvents is the acceptance check for the
+// zero-copy read path's observability: the slotcache_* counters on /metrics
+// move in lockstep with the job event stream. The arithmetic is exact —
+// the startup snapshot decodes each of the 4 cells once (4 misses), a job
+// over the same selection store-hits all 4 through the slot cache and its
+// post-job reload hits them again, so hits = 2 × the job's store_hits and
+// no evictions ever fire (nothing was overwritten).
+func TestMetricsSlotcacheAgreesWithEvents(t *testing.T) {
+	srv, g := newTestServer(t)
+
+	metrics := func() map[string]int {
+		raw := getRaw(t, srv, "/metrics")
+		out := map[string]int{}
+		for _, line := range strings.Split(raw, "\n") {
+			var name string
+			var v int
+			if n, _ := fmt.Sscanf(line, "slotcache_%s %d", &name, &v); n == 2 {
+				out["slotcache_"+name] = v
+			}
+		}
+		return out
+	}
+
+	m := metrics()
+	if m["slotcache_misses_total"] != g.Cells() || m["slotcache_hits_total"] != 0 {
+		t.Fatalf("startup metrics %v, want %d misses / 0 hits", m, g.Cells())
+	}
+
+	id := postJob(t, srv,
+		`{"benchmarks":["crc","fft"],"sizes":["tiny"],"devices":["i7-6700k","gtx1080"],"samples":6}`,
+		http.StatusAccepted)
+	status := waitJob(t, srv, id)
+	if status["state"] != string(jobDone) {
+		t.Fatalf("job state %v", status["state"])
+	}
+	hits := int(status["store_hits"].(float64))
+	if hits != g.Cells() {
+		t.Fatalf("job store_hits %d, want %d", hits, g.Cells())
+	}
+
+	m = metrics()
+	if m["slotcache_hits_total"] != 2*hits {
+		t.Fatalf("slotcache_hits_total %d, want %d (job %d + reload %d)",
+			m["slotcache_hits_total"], 2*hits, hits, hits)
+	}
+	if m["slotcache_misses_total"] != g.Cells() {
+		t.Fatalf("slotcache_misses_total %d changed after an all-hit job, want %d",
+			m["slotcache_misses_total"], g.Cells())
+	}
+	if m["slotcache_evictions_total"] != 0 {
+		t.Fatalf("slotcache_evictions_total %d with nothing overwritten", m["slotcache_evictions_total"])
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/obs"
+	"opendwarfs/internal/store"
 )
 
 // statusWriter captures the response code (and, for error responses, a
@@ -136,7 +137,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"vcs_revision":    revision,
 		"uptime_ms":       float64(time.Since(s.started)) / 1e6,
 		"cells":           cells,
-		"segments":        s.st.Segments(),
+		"segments":        store.SegmentsOf(s.st),
 		"schema":          harness.StoreSchemaVersion,
 		"jobs":            jobs,
 		"jobs_by_state":   byState,

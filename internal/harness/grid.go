@@ -47,7 +47,11 @@ type GridSpec struct {
 	// instead of recomputed, and misses are measured then persisted. An
 	// unchanged grid re-swept against the same store is a 100% hit and
 	// produces value-identical measurements, hence byte-identical exports.
-	Store *store.Store
+	// Any CellStore works — a plain directory store, a Sharded fan-out, or
+	// either behind store.Cached, whose Decoded fast path serves hits as
+	// shared decoded cells with zero re-parsing. Assign only a live store:
+	// a typed-nil pointer in the interface reads as "store attached".
+	Store store.CellStore
 	// Faults, when non-nil, injects deterministic failures into every
 	// measurement attempt (see internal/faults); nil — the default — is
 	// the clean simulator. Store hits bypass injection: a cell already
@@ -269,6 +273,13 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 	// carried by ctx for callers above the spec — roots a run-level span
 	// that every cell span parents under.
 	mo := newGridMetrics(spec.Metrics)
+	// The store's Decoded capability is resolved once per run, not per
+	// cell: a cached store serves hits as shared decoded cells (zero
+	// re-parsing), every other store decodes each hit's payload.
+	var decodedStore store.Decoded
+	if spec.Store != nil {
+		decodedStore, _ = spec.Store.(store.Decoded)
+	}
 	injector := spec.Faults
 	if spec.Metrics != nil {
 		injector = faults.Counted(injector, spec.Metrics)
@@ -402,21 +413,33 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		var key string
 		if spec.Store != nil {
 			key = CellKey(c.bench.Name(), c.size, c.dev.Spec, spec.Options)
-			if raw, ok := spec.Store.Get(key); ok {
-				decodeStart := time.Now()
-				if m, derr := DecodeMeasurement(raw); derr == nil {
-					mo.decodeNs.Observe(float64(time.Since(decodeStart)))
-					cspan.SetAttr("outcome", "store_hit")
-					results[i] = m
-					hits.Add(1)
-					ev := cellEvent(EventStoreHit, c)
-					ev.Elapsed = time.Since(cellStart)
-					ev.Measurement = m
-					send(ev)
-					return nil
+			var m *Measurement
+			decodeStart := time.Now()
+			if decodedStore != nil {
+				// Zero-copy hit: the slot cache hands back the shared
+				// decoded cell; only the first reader of a key in the
+				// process ever pays the JSON decode.
+				if v, ok, derr := decodedStore.GetDecoded(key, decodeMeasurementSlot); derr == nil && ok {
+					m = v.(*Measurement)
 				}
-				// Undecodable under the current code: recompute and
-				// overwrite below.
+			} else if raw, ok := spec.Store.Get(key); ok {
+				if mm, derr := DecodeMeasurement(raw); derr == nil {
+					m = mm
+				}
+			}
+			// A nil m with the key present means the payload was
+			// undecodable under the current code: recompute and overwrite
+			// below.
+			if m != nil {
+				mo.decodeNs.Observe(float64(time.Since(decodeStart)))
+				cspan.SetAttr("outcome", "store_hit")
+				results[i] = m
+				hits.Add(1)
+				ev := cellEvent(EventStoreHit, c)
+				ev.Elapsed = time.Since(cellStart)
+				ev.Measurement = m
+				send(ev)
+				return nil
 			}
 		}
 		var pspan *obs.Span

@@ -1,0 +1,114 @@
+package harness
+
+// Store-hit read-path benchmarks: how fast a grid assembles from cells that
+// are already in the store. The gated pair in ci/BENCH_store.json is
+// StoreHitAssembly (slot-cache hits: zero decode, shared cells) against the
+// committed RunGridCachedCells measurement baseline in ci/BENCH_grid.json —
+// serving one warmed row must be orders of magnitude cheaper than
+// re-measuring it. StoreHitAssemblyUncached isolates the slot cache's own
+// win by decoding every record's JSONL payload per assembly, the read path
+// before the cache existed.
+//
+//	go test ./internal/harness -run '^$' -bench StoreHit -benchtime 100x
+//
+// All three benchmarks serve the same 5 cells as RunGridCachedCells (one
+// srad × small row across five devices), so the ns/op columns compare
+// directly.
+
+import (
+	"context"
+	"testing"
+
+	"opendwarfs/internal/store"
+	"opendwarfs/internal/suite"
+)
+
+// benchRowSpec is the srad × small × 5-device row of the measurement
+// benchmarks, as a store-backed grid spec.
+func benchRowSpec(st store.CellStore) GridSpec {
+	opt := DefaultOptions()
+	opt.Samples = 8
+	return GridSpec{
+		Benchmarks: []string{"srad"},
+		Sizes:      []string{"small"},
+		Devices:    []string{"i7-6700k", "gtx1080", "k20m", "r9-290x", "knl-7210"},
+		Options:    opt,
+		Workers:    1,
+		Store:      st,
+	}
+}
+
+// warmStore sweeps the benchmark row into a fresh store and returns a
+// CellStore over it — cached or not — with every slot already decoded when
+// cached (one GridFromStore pass warms the table).
+func warmStore(b *testing.B, cached bool) store.CellStore {
+	b.Helper()
+	base, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st store.CellStore = base
+	if cached {
+		c := store.Cached(base)
+		b.Cleanup(func() { c.Close() })
+		st = c
+	}
+	if _, err := RunGrid(context.Background(), suite.New(), benchRowSpec(st)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := GridFromStore(st); err != nil { // warm the slots
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStoreHitAssembly is the gated zero-copy number: assembling the
+// row from a warm slot cache — no JSON parsing, cells shared by pointer.
+func BenchmarkStoreHitAssembly(b *testing.B) {
+	st := warmStore(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := GridFromStore(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Cells() != 5 {
+			b.Fatalf("%d cells, want 5", g.Cells())
+		}
+	}
+}
+
+// BenchmarkStoreHitAssemblyUncached assembles the same row from a plain
+// store: every record's payload is decoded per call, the pre-slot-cache
+// read path.
+func BenchmarkStoreHitAssemblyUncached(b *testing.B) {
+	st := warmStore(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := GridFromStore(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Cells() != 5 {
+			b.Fatalf("%d cells, want 5", g.Cells())
+		}
+	}
+}
+
+// BenchmarkStoreHitRunGrid serves the row through the full grid harness —
+// worker pool, event accounting, per-cell spans — with every cell a store
+// hit. The delta over StoreHitAssembly is the harness's own dispatch cost.
+func BenchmarkStoreHitRunGrid(b *testing.B) {
+	st := warmStore(b, true)
+	reg := suite.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := RunGrid(context.Background(), reg, benchRowSpec(st))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.StoreHits != 5 {
+			b.Fatalf("%d store hits, want 5", g.StoreHits)
+		}
+	}
+}

@@ -18,14 +18,19 @@ import (
 func tinyStoreSpec(st *store.Store) GridSpec {
 	opt := DefaultOptions()
 	opt.Samples = 6
-	return GridSpec{
+	spec := GridSpec{
 		Benchmarks: []string{"crc", "fft"},
 		Sizes:      []string{"tiny"},
 		Devices:    []string{"i7-6700k", "gtx1080", "k20m"},
 		Options:    opt,
 		Workers:    2,
-		Store:      st,
 	}
+	// Assign only a live store: a typed-nil *store.Store in the interface
+	// field would read as "store attached".
+	if st != nil {
+		spec.Store = st
+	}
+	return spec
 }
 
 func gridCSV(t *testing.T, g *Grid) []byte {
@@ -371,5 +376,72 @@ func TestUnknownSizeAndDeviceFailLoudly(t *testing.T) {
 	}
 	if g.Cells() != 1 {
 		t.Fatalf("%d cells, want crc/large only", g.Cells())
+	}
+}
+
+// TestConcurrentStoreHitReaders hammers one warm cached store from several
+// RunGrid and GridFromStore readers at once — the dwarfserve shape, where a
+// job's sweep and query reloads share the slot table. Run under -race this
+// is the data-race gate for the zero-copy read path; in any mode it checks
+// every reader sees full hits and the literal shared cell pointers.
+func TestConcurrentStoreHitReaders(t *testing.T) {
+	base, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.Cached(base)
+	defer st.Close()
+	reg := suite.New()
+	spec := tinyStoreSpec(nil)
+	spec.Store = st
+	cold, err := RunGrid(context.Background(), reg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	grids := make([]*Grid, readers)
+	for i := range readers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				g, err := RunGrid(context.Background(), reg, spec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if g.StoreHits != g.Cells() {
+					t.Errorf("reader %d: %d hits over %d cells", i, g.StoreHits, g.Cells())
+				}
+				grids[i] = g
+				return
+			}
+			g, err := GridFromStore(st)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			grids[i] = g
+		}(i)
+	}
+	wg.Wait()
+
+	// Zero-copy across readers: every grid serves the same *Measurement per
+	// cell, not equal copies.
+	for i, g := range grids {
+		if g == nil || g.Cells() != cold.Cells() {
+			t.Fatalf("reader %d: incomplete grid", i)
+		}
+		for _, m := range g.Measurements {
+			ref := grids[0].Find(m.Benchmark, m.Size, m.Device.ID)
+			if ref != m {
+				t.Fatalf("reader %d decoded a private copy of %s/%s/%s", i, m.Benchmark, m.Size, m.Device.ID)
+			}
+		}
+	}
+	if s := st.Stats(); s.Hits == 0 {
+		t.Fatalf("no slot hits across %d readers: %+v", readers, s)
 	}
 }

@@ -33,14 +33,19 @@ func testOptions() harness.Options {
 // measure runs a small benchmark × size × device grid for cost-model tests.
 func measure(t *testing.T, benches, sizes, devices []string, st *store.Store) *harness.Grid {
 	t.Helper()
-	g, err := harness.RunGrid(context.Background(), suite.New(), harness.GridSpec{
+	spec := harness.GridSpec{
 		Benchmarks: benches,
 		Sizes:      sizes,
 		Devices:    devices,
 		Options:    testOptions(),
 		Workers:    2,
-		Store:      st,
-	})
+	}
+	// Guard the interface assignment: a typed-nil *store.Store would read
+	// as "store attached".
+	if st != nil {
+		spec.Store = st
+	}
+	g, err := harness.RunGrid(context.Background(), suite.New(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,14 +434,17 @@ func TestScheduleDeterministicAcrossWorkers(t *testing.T) {
 // stand-in for opendwarfs.Session.Stream.
 func storeStreamer(st *store.Store) Streamer {
 	return func(ctx context.Context, benches, sizes, devices []string) (<-chan harness.Event, error) {
-		return harness.Stream(ctx, suite.New(), harness.GridSpec{
+		spec := harness.GridSpec{
 			Benchmarks: benches,
 			Sizes:      sizes,
 			Devices:    devices,
 			Options:    testOptions(),
 			Workers:    2,
-			Store:      st,
-		})
+		}
+		if st != nil {
+			spec.Store = st
+		}
+		return harness.Stream(ctx, suite.New(), spec)
 	}
 }
 

@@ -1,0 +1,116 @@
+package store
+
+// The CellStore interface is the seam between the persistence layer and
+// everything that reads or writes measured cells: the harness's incremental
+// grid runs, predict's training path, the scheduler's cost provider and the
+// dwarfserve query surface all speak CellStore, never *Store. That is what
+// lets one logical store be a plain directory (*Store), a fan-out over N
+// shard directories (Sharded), or either of those behind the zero-copy slot
+// cache (Cached) — composed freely, without any consumer changing.
+
+import (
+	"encoding/json"
+
+	"opendwarfs/internal/obs"
+)
+
+// CellStore is the persistent fingerprint → record map every consumer
+// programs against. Implementations must be safe for concurrent use.
+//
+// The optional capabilities below (Snapshotter, Decoded, Segmenter,
+// Instrumentable, SizeBounded) are discovered by type assertion; a consumer
+// that needs one degrades gracefully when it is absent.
+type CellStore interface {
+	// Get returns the stored payload for key. The returned bytes must not
+	// be modified.
+	Get(key string) (json.RawMessage, bool)
+	// Lookup returns the full record for key, or nil.
+	Lookup(key string) *Record
+	// Put persists the record and publishes it (last write wins).
+	Put(rec Record) error
+	// Records returns a stable listing of every live record, sorted by
+	// (benchmark, size, device, key) — see SortRecords.
+	Records() []*Record
+	// Len returns the number of live records.
+	Len() int
+	// Close releases the store's file handles. The store must not be used
+	// afterwards.
+	Close() error
+}
+
+// Snapshotter is optionally implemented by stores that can garbage-collect
+// their backing files: Compact rewrites the live record set into a fresh
+// snapshot and retires the dead seg-*.jsonl files it subsumes.
+type Snapshotter interface {
+	Compact() error
+}
+
+// DecodeFunc turns a stored payload into its decoded form. Decoders must
+// return a value that is immutable from the caller's point of view: a
+// Decoded store hands the same decoded value to every subsequent reader.
+type DecodeFunc func(raw json.RawMessage) (any, error)
+
+// Decoded is optionally implemented by read paths that can serve a shared,
+// already-decoded cell — the zero-copy hit. GetDecoded returns (value,
+// true, nil) when the key exists (decoding it with decode at most once per
+// cache lifetime), (nil, false, nil) when it does not, and a non-nil error
+// when the stored payload does not decode.
+type Decoded interface {
+	GetDecoded(key string, decode DecodeFunc) (any, bool, error)
+}
+
+// Segmenter is optionally implemented by stores that can report how many
+// snapshot/segment files back them — a health metric for the serving layer.
+type Segmenter interface {
+	Segments() int
+}
+
+// Instrumentable is optionally implemented by stores that can register
+// their counters on a metrics registry.
+type Instrumentable interface {
+	Instrument(reg *obs.Registry)
+}
+
+// SizeBounded is optionally implemented by stores that can bound their
+// on-disk footprint: CompactIfOver compacts (snapshotting + segment GC)
+// when DiskBytes exceeds maxBytes, reporting whether it did.
+type SizeBounded interface {
+	DiskBytes() (int64, error)
+	CompactIfOver(maxBytes int64) (bool, error)
+}
+
+// SegmentsOf reports the backing-file count of any CellStore, or 0 when
+// the store does not expose one.
+func SegmentsOf(cs CellStore) int {
+	if s, ok := cs.(Segmenter); ok {
+		return s.Segments()
+	}
+	return 0
+}
+
+// InstrumentStore registers cs's counters on reg when the store supports
+// instrumentation; a no-op otherwise.
+func InstrumentStore(cs CellStore, reg *obs.Registry) {
+	if in, ok := cs.(Instrumentable); ok {
+		in.Instrument(reg)
+	}
+}
+
+// CompactStore garbage-collects cs when it supports compaction; a no-op
+// (nil error) otherwise.
+func CompactStore(cs CellStore) error {
+	if sn, ok := cs.(Snapshotter); ok {
+		return sn.Compact()
+	}
+	return nil
+}
+
+// Compile-time checks: every store shape in this package is a CellStore,
+// and the concrete *Store keeps its full capability set.
+var (
+	_ CellStore      = (*Store)(nil)
+	_ Snapshotter    = (*Store)(nil)
+	_ Segmenter      = (*Store)(nil)
+	_ Instrumentable = (*Store)(nil)
+	_ SizeBounded    = (*Store)(nil)
+)

@@ -1,0 +1,42 @@
+package slotcache
+
+// Export internal registry state for testing. This file is only compiled
+// during tests; it is the seam the refcount-lifecycle tests observe the
+// global registry through without widening the public API.
+
+// GetRegistryEntryForTesting returns the registry entry's refcount for the
+// given cache identity. Returns (refCount, exists); refCount is 0 when the
+// identity is not registered.
+func GetRegistryEntryForTesting(c Cache) (int, bool) {
+	cc, ok := c.(*cache)
+	if !ok {
+		return 0, false
+	}
+
+	val, ok := globalRegistry.Load(cc.identity)
+	if !ok {
+		return 0, false
+	}
+
+	entry := val.(*registryEntry)
+
+	registryMu.Lock()
+	count := entry.refCount
+	registryMu.Unlock()
+
+	return count, true
+}
+
+// RegistryEntryExistsForTesting checks whether a registry entry exists for
+// the given cache. Callable even after the cache is closed (it uses the
+// identity stored on the cache struct).
+func RegistryEntryExistsForTesting(c Cache) bool {
+	cc, ok := c.(*cache)
+	if !ok {
+		return false
+	}
+
+	_, exists := globalRegistry.Load(cc.identity)
+
+	return exists
+}

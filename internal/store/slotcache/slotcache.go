@@ -1,0 +1,165 @@
+// Package slotcache is a process-global registry of decoded-cell slot
+// tables, keyed by store-file identity. Two handles acquired for the same
+// identity — a serving daemon and a job's session over one store
+// directory, say — share one slot table, so a cell decoded anywhere in the
+// process is a zero-copy hit everywhere else. Entries are refcounted:
+// Acquire increments, Close decrements, and the table (with every decoded
+// slot) is dropped from the registry when the last handle closes, so a
+// long-lived process that opens and closes many stores does not accrete
+// dead tables.
+//
+// The cache stores opaque `any` values and never decodes anything itself;
+// the decode function lives with the caller (see store.Cached), which
+// keeps this package free of higher-layer imports. Values must be treated
+// as immutable once cached: every reader of a key receives the same value.
+package slotcache
+
+import (
+	"path/filepath"
+	"sync"
+)
+
+// Cache is one refcounted handle onto a shared slot table. All methods are
+// safe for concurrent use; using a handle after Close panics on the nil
+// table and is a programmer error.
+type Cache interface {
+	// Get returns the cached value for key, if present.
+	Get(key string) (any, bool)
+	// GetOrFill returns the cached value for key, calling fill to produce
+	// it on a miss. When two readers miss concurrently both may run fill,
+	// but all callers receive the same (first-published) value.
+	GetOrFill(key string, fill func() (any, error)) (any, error)
+	// Invalidate drops key's slot, reporting whether one was present.
+	Invalidate(key string) bool
+	// InvalidateAll drops every slot, returning how many were present.
+	InvalidateAll() int
+	// Len returns the number of cached slots.
+	Len() int
+	// Close releases this handle. The shared table survives until the
+	// last handle over the same identity closes. Safe to call twice.
+	Close() error
+}
+
+// registryMu guards refcounts and registry membership; globalRegistry maps
+// identity → *registryEntry. Slot reads and writes take only the entry's
+// own RWMutex, so cache traffic on different stores never contends here.
+var (
+	registryMu     sync.Mutex
+	globalRegistry sync.Map
+)
+
+// registryEntry is one shared slot table plus its refcount.
+type registryEntry struct {
+	identity string
+	refCount int // guarded by registryMu
+
+	mu    sync.RWMutex
+	slots map[string]any
+}
+
+// cache is the concrete handle; the registry entry it points at is shared
+// with every other handle of the same identity.
+type cache struct {
+	identity string
+	entry    *registryEntry
+
+	closeOnce sync.Once
+}
+
+// Acquire returns a handle onto the slot table for identity, creating the
+// table when this is the first live handle. Handles over equal identities
+// share slots; see FileIdentity for deriving an identity from a store
+// directory.
+func Acquire(identity string) Cache {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	var entry *registryEntry
+	if val, ok := globalRegistry.Load(identity); ok {
+		entry = val.(*registryEntry)
+	} else {
+		entry = &registryEntry{identity: identity, slots: make(map[string]any)}
+		globalRegistry.Store(identity, entry)
+	}
+	entry.refCount++
+	return &cache{identity: identity, entry: entry}
+}
+
+// FileIdentity canonicalises a filesystem path into a cache identity:
+// symlinks resolved, path absolute — so two opens of one store directory
+// share slots regardless of how each spelled the path. A path that cannot
+// be resolved (not created yet, permission) falls back to its cleaned
+// absolute form.
+func FileIdentity(path string) string {
+	if resolved, err := filepath.EvalSymlinks(path); err == nil {
+		path = resolved
+	}
+	if abs, err := filepath.Abs(path); err == nil {
+		path = abs
+	}
+	return "file:" + filepath.Clean(path)
+}
+
+func (c *cache) Get(key string) (any, bool) {
+	c.entry.mu.RLock()
+	v, ok := c.entry.slots[key]
+	c.entry.mu.RUnlock()
+	return v, ok
+}
+
+func (c *cache) GetOrFill(key string, fill func() (any, error)) (any, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	// Fill outside the lock: decoding may be expensive and must not block
+	// readers of other keys. Re-check under the write lock — a concurrent
+	// filler may have published first, and its value wins so every caller
+	// shares one decoded cell.
+	v, err := fill()
+	if err != nil {
+		return nil, err
+	}
+	c.entry.mu.Lock()
+	if won, ok := c.entry.slots[key]; ok {
+		c.entry.mu.Unlock()
+		return won, nil
+	}
+	c.entry.slots[key] = v
+	c.entry.mu.Unlock()
+	return v, nil
+}
+
+func (c *cache) Invalidate(key string) bool {
+	c.entry.mu.Lock()
+	_, ok := c.entry.slots[key]
+	if ok {
+		delete(c.entry.slots, key)
+	}
+	c.entry.mu.Unlock()
+	return ok
+}
+
+func (c *cache) InvalidateAll() int {
+	c.entry.mu.Lock()
+	n := len(c.entry.slots)
+	c.entry.slots = make(map[string]any)
+	c.entry.mu.Unlock()
+	return n
+}
+
+func (c *cache) Len() int {
+	c.entry.mu.RLock()
+	defer c.entry.mu.RUnlock()
+	return len(c.entry.slots)
+}
+
+func (c *cache) Close() error {
+	c.closeOnce.Do(func() {
+		registryMu.Lock()
+		c.entry.refCount--
+		if c.entry.refCount <= 0 {
+			globalRegistry.Delete(c.identity)
+		}
+		registryMu.Unlock()
+	})
+	return nil
+}

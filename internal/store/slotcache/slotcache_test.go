@@ -1,0 +1,163 @@
+package slotcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRefcountLifecycle walks an entry through its whole life: the first
+// Acquire creates it at refcount 1, a second handle shares it at 2, closes
+// step it back down, and the last Close removes the entry from the global
+// registry so a process that churns stores does not accrete dead tables.
+func TestRefcountLifecycle(t *testing.T) {
+	id := "test:" + t.Name()
+	a := Acquire(id)
+	if n, ok := GetRegistryEntryForTesting(a); !ok || n != 1 {
+		t.Fatalf("after first Acquire: refcount %d, exists %v; want 1, true", n, ok)
+	}
+
+	b := Acquire(id)
+	if n, _ := GetRegistryEntryForTesting(a); n != 2 {
+		t.Fatalf("after second Acquire: refcount %d, want 2", n)
+	}
+
+	// Slots published through one handle are visible through the other.
+	a.(*cache).entry.slots["k"] = "v"
+	if v, ok := b.Get("k"); !ok || v != "v" {
+		t.Fatalf("second handle does not share slots: %v, %v", v, ok)
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := GetRegistryEntryForTesting(b); !ok || n != 1 {
+		t.Fatalf("after first Close: refcount %d, exists %v; want 1, true", n, ok)
+	}
+	// Double Close releases only one reference.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := GetRegistryEntryForTesting(b); n != 1 {
+		t.Fatalf("double Close dropped an extra reference: refcount %d, want 1", n)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if RegistryEntryExistsForTesting(b) {
+		t.Fatal("registry entry survives the last Close")
+	}
+
+	// Re-acquiring the identity starts a fresh, empty table.
+	c := Acquire(id)
+	defer c.Close()
+	if c.Len() != 0 {
+		t.Fatalf("fresh entry holds %d stale slots", c.Len())
+	}
+}
+
+// TestGetOrFillFirstPublishWins: concurrent missers may all run fill, but
+// every caller converges on the single first-published value.
+func TestGetOrFillFirstPublishWins(t *testing.T) {
+	c := Acquire("test:" + t.Name())
+	defer c.Close()
+
+	const readers = 16
+	var wg sync.WaitGroup
+	got := make([]any, readers)
+	for i := range readers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrFill("k", func() (any, error) {
+				return new(int), nil // distinct pointer per fill
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			got[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < readers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("reader %d received a different value than reader 0", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("%d slots after one key, want 1", c.Len())
+	}
+}
+
+// TestGetOrFillErrorNotCached: a failed fill leaves no slot behind, so a
+// later fill can succeed.
+func TestGetOrFillErrorNotCached(t *testing.T) {
+	c := Acquire("test:" + t.Name())
+	defer c.Close()
+
+	wantErr := errors.New("decode failed")
+	if _, err := c.GetOrFill("k", func() (any, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("fill error %v, want %v", err, wantErr)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed fill left a slot behind")
+	}
+	v, err := c.GetOrFill("k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("recovery fill: %v, %v", v, err)
+	}
+}
+
+// TestInvalidate: single-key and whole-table invalidation report what they
+// dropped, and dropped keys refill on next access.
+func TestInvalidate(t *testing.T) {
+	c := Acquire("test:" + t.Name())
+	defer c.Close()
+
+	for i := range 3 {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := c.GetOrFill(k, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Invalidate("k0") {
+		t.Fatal("Invalidate(k0) reported no slot")
+	}
+	if c.Invalidate("k0") {
+		t.Fatal("Invalidate(k0) twice reported a slot")
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 still cached after Invalidate")
+	}
+	if n := c.InvalidateAll(); n != 2 {
+		t.Fatalf("InvalidateAll dropped %d, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("%d slots after InvalidateAll", c.Len())
+	}
+}
+
+// TestFileIdentityCanonicalises: two spellings of one directory — and a
+// symlink onto it — share an identity, while a different directory does not.
+func TestFileIdentityCanonicalises(t *testing.T) {
+	dir := t.TempDir()
+	direct := FileIdentity(dir)
+	dotted := FileIdentity(filepath.Join(dir, ".", "sub", ".."))
+	if direct != dotted {
+		t.Fatalf("spellings differ: %q vs %q", direct, dotted)
+	}
+	link := filepath.Join(t.TempDir(), "link")
+	if err := os.Symlink(dir, link); err != nil {
+		t.Skipf("symlink: %v", err)
+	}
+	if FileIdentity(link) != direct {
+		t.Fatalf("symlink identity %q != direct %q", FileIdentity(link), direct)
+	}
+	if FileIdentity(t.TempDir()) == direct {
+		t.Fatal("distinct directories share an identity")
+	}
+}

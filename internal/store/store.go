@@ -143,10 +143,18 @@ func (s *Store) replay(path string) error {
 	}
 }
 
-func (s *Store) shard(key string) *shard {
+// FingerprintShard returns key's 16-way fingerprint shard index — the
+// index that partitions the in-memory index, and that Sharded reuses to
+// route keys across store replicas, so in-process and cross-store
+// placement agree by construction.
+func FingerprintShard(key string) int {
 	h := fnv.New32a()
 	io.WriteString(h, key)
-	return &s.shards[h.Sum32()%nShards]
+	return int(h.Sum32() % nShards)
+}
+
+func (s *Store) shard(key string) *shard {
+	return &s.shards[FingerprintShard(key)]
 }
 
 // Get returns the stored payload for key. The returned bytes must not be
@@ -247,21 +255,15 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Records returns a stable listing of every live record, sorted by
-// (benchmark, size, device, key) — the order the serving layer and exports
-// present cells in.
-func (s *Store) Records() []*Record {
-	var out []*Record
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, rec := range sh.recs {
-			out = append(out, rec)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+// SortRecords sorts recs into the canonical listing order every CellStore
+// implementation must produce from Records: (benchmark, size, device)
+// with the fingerprint key as the final tiebreak. The key makes the order
+// a total one — two records can never compare equal — so the listing is
+// deterministic regardless of map iteration order, segment replay order
+// or which shard each record came from.
+func SortRecords(recs []*Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
 		if a.Benchmark != b.Benchmark {
 			return a.Benchmark < b.Benchmark
 		}
@@ -273,6 +275,22 @@ func (s *Store) Records() []*Record {
 		}
 		return a.Key < b.Key
 	})
+}
+
+// Records returns a stable listing of every live record in the canonical
+// SortRecords order — the order the serving layer and exports present
+// cells in.
+func (s *Store) Records() []*Record {
+	var out []*Record
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.recs {
+			out = append(out, rec)
+		}
+		sh.mu.RUnlock()
+	}
+	SortRecords(out)
 	return out
 }
 
@@ -359,12 +377,54 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Segments() int {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	n := 0
-	if _, err := os.Stat(filepath.Join(s.dir, snapshotName)); err == nil {
-		n++
-	}
-	if segs, err := filepath.Glob(filepath.Join(s.dir, segmentGlob)); err == nil {
-		n += len(segs)
-	}
+	n, _, _ := s.diskFootprintLocked()
 	return n
+}
+
+// DiskBytes reports the store's on-disk footprint: the byte total of the
+// snapshot plus every segment file.
+func (s *Store) DiskBytes() (int64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	_, bytes, err := s.diskFootprintLocked()
+	return bytes, err
+}
+
+// diskFootprintLocked counts and sizes the backing files. Callers hold wmu.
+func (s *Store) diskFootprintLocked() (files int, bytes int64, err error) {
+	paths := []string{filepath.Join(s.dir, snapshotName)}
+	if segs, gerr := filepath.Glob(filepath.Join(s.dir, segmentGlob)); gerr == nil {
+		paths = append(paths, segs...)
+	}
+	for _, p := range paths {
+		fi, serr := os.Stat(p)
+		if serr != nil {
+			if !os.IsNotExist(serr) && err == nil {
+				err = fmt.Errorf("store: %w", serr)
+			}
+			continue
+		}
+		files++
+		bytes += fi.Size()
+	}
+	return files, bytes, err
+}
+
+// CompactIfOver is the size-bounded snapshot: when the snapshot + segment
+// footprint exceeds maxBytes, the live record set is rewritten into a
+// fresh snapshot and the dead segments are garbage-collected (see
+// Compact). Returns whether a compaction ran. A maxBytes ≤ 0 never
+// compacts.
+func (s *Store) CompactIfOver(maxBytes int64) (bool, error) {
+	if maxBytes <= 0 {
+		return false, nil
+	}
+	bytes, err := s.DiskBytes()
+	if err != nil {
+		return false, err
+	}
+	if bytes <= maxBytes {
+		return false, nil
+	}
+	return true, s.Compact()
 }

@@ -87,7 +87,7 @@ type Session struct {
 	tracer  *obs.Tracer
 
 	mu     sync.Mutex // guards st/ownsSt against a concurrent Close
-	st     *store.Store
+	st     store.CellStore
 	ownsSt bool
 }
 
@@ -96,8 +96,10 @@ type Option func(*Session) error
 
 // WithStore attaches the persistent result store at dir (created if
 // missing): cells already present are decoded instead of re-measured, new
-// cells are persisted as they complete. The store is opened by NewSession
-// and closed by Session.Close.
+// cells are persisted as they complete. The store is opened by NewSession,
+// closed by Session.Close, and wrapped in the process-global slot cache, so
+// repeated reads of one cell — within this session or any other open on the
+// same directory — share a single decoded measurement.
 func WithStore(dir string) Option {
 	return func(s *Session) error {
 		if s.st != nil {
@@ -107,7 +109,29 @@ func WithStore(dir string) Option {
 		if err != nil {
 			return err
 		}
-		s.st, s.ownsSt = st, true
+		s.st, s.ownsSt = store.Cached(st), true
+		return nil
+	}
+}
+
+// WithShardedStore attaches an n-way sharded result store rooted at dir:
+// shard i lives in dir/shard-NN and cells are routed to shards by their
+// fingerprint, so any process opening the same directory with the same
+// shard count agrees on placement. Listings and grid assembly
+// scatter-gather all shards and are byte-identical to a single store
+// holding the same cells. Like WithStore, the sharded store sits behind
+// the slot cache and is closed by Session.Close. shards must be 1..16;
+// counts dividing 16 balance best.
+func WithShardedStore(dir string, shards int) Option {
+	return func(s *Session) error {
+		if s.st != nil {
+			return fmt.Errorf("opendwarfs: store already configured")
+		}
+		st, err := store.OpenSharded(dir, shards)
+		if err != nil {
+			return err
+		}
+		s.st, s.ownsSt = store.Cached(st), true
 		return nil
 	}
 }
