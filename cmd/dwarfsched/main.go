@@ -272,7 +272,7 @@ func main() {
 			Forest: cfg, Sched: schedOpt, Known: loopKnown, Costs: costs,
 			Rounds: *rounds,
 		}
-		if oracleSchedule != nil {
+		if oracleSchedule != nil && truthCosts != nil {
 			// Assigned only when real: a nil *sched.Costs stored into the
 			// CostProvider interface would read as set and fail validation.
 			params.Oracle, params.Truth = oracleSchedule, truthCosts

@@ -34,6 +34,15 @@ const (
 	jobCancelled jobState = "cancelled"
 )
 
+// Job and SSE metric names (obsnames-checked).
+const (
+	mJobsCreatedTotal  = "jobs_created_total"
+	mJobsRunning       = "jobs_running"
+	mJobsFinishedTotal = "jobs_finished_total"
+	mSSESubscribers    = "sse_subscribers"
+	lblState           = "state"
+)
+
 // jobRequest is the POST /v1/jobs body. Empty axes mean "all", exactly as
 // in dwarfsweep; options default to the paper methodology (50 samples,
 // seed 1) so a job's cells fingerprint identically to a default sweep's.
@@ -267,8 +276,8 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	s.pruneJobsLocked()
 	s.jobWG.Add(1)
 	s.jobMu.Unlock()
-	s.metrics.Counter("jobs_created_total").Inc()
-	s.metrics.Gauge("jobs_running").Add(1)
+	s.metrics.Counter(mJobsCreatedTotal).Inc()
+	s.metrics.Gauge(mJobsRunning).Add(1)
 
 	go s.runJob(j, events)
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -326,8 +335,8 @@ func (s *server) runJob(j *job, events <-chan harness.Event) {
 		wev.State = string(state)
 		wev.Error = errMsg
 		j.finish(state, errMsg, wev)
-		s.metrics.Gauge("jobs_running").Add(-1)
-		s.metrics.Counter(obs.Name("jobs_finished_total", "state", string(state))).Inc()
+		s.metrics.Gauge(mJobsRunning).Add(-1)
+		s.metrics.Counter(obs.Name(mJobsFinishedTotal, lblState, string(state))).Inc()
 	}
 }
 
@@ -413,8 +422,8 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
-	s.metrics.Gauge("sse_subscribers").Add(1)
-	defer s.metrics.Gauge("sse_subscribers").Add(-1)
+	s.metrics.Gauge(mSSESubscribers).Add(1)
+	defer s.metrics.Gauge(mSSESubscribers).Add(-1)
 
 	keepAlive := time.NewTicker(s.keepAlive)
 	defer keepAlive.Stop()

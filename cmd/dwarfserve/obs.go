@@ -57,6 +57,14 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// HTTP middleware metric names (obsnames-checked).
+const (
+	mHTTPRequestsTotal = "http_requests_total"
+	mHTTPRequestNs     = "http_request_ns"
+	lblRoute           = "route"
+	lblCode            = "code"
+)
+
 // ServeHTTP is the middleware around the mux: every request — matched or
 // not — is counted under http_requests_total{route,code} and timed into
 // http_request_ns{route}, and 4xx/5xx responses are logged server-side
@@ -74,9 +82,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if code == 0 {
 		code = http.StatusOK
 	}
-	s.metrics.Counter(obs.Name("http_requests_total",
-		"route", route, "code", strconv.Itoa(code))).Inc()
-	s.metrics.Histogram(obs.Name("http_request_ns", "route", route), nil).
+	s.metrics.Counter(obs.Name(mHTTPRequestsTotal,
+		lblRoute, route, lblCode, strconv.Itoa(code))).Inc()
+	s.metrics.Histogram(obs.Name(mHTTPRequestNs, lblRoute, route), nil).
 		Observe(float64(time.Since(start)))
 	if code >= 400 {
 		log.Printf("dwarfserve: %s %s -> %d %s", r.Method, r.URL.Path, code, sw.errPrefix)
@@ -142,7 +150,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"jobs":            jobs,
 		"jobs_by_state":   byState,
 		"jobs_running":    byState[string(jobRunning)],
-		"sse_subscribers": int(s.metrics.Gauge("sse_subscribers").Value()),
+		"sse_subscribers": int(s.metrics.Gauge(mSSESubscribers).Value()),
 	}
 	if quar := s.quarantinedDevices(); len(quar) > 0 {
 		resp["quarantined"] = quar

@@ -1,0 +1,22 @@
+// dwarfvet is the repo's static-analysis suite, a go vet tool in the
+// unitchecker mold. It is not run directly; build it and hand it to go
+// vet, which feeds it one compilation unit at a time:
+//
+//	go build -o /tmp/dwarfvet ./cmd/dwarfvet
+//	go vet -vettool=/tmp/dwarfvet ./...
+//
+// Analyzers: typednil, detrand, obsnames, locksend (see internal/lint
+// and DESIGN.md §12). Disable one with -typednil=false, scope the
+// package-scoped checks with -detrand.pkgs=... / -locksend.pkgs=...,
+// and suppress a single finding in source with
+// `//lint:allow <analyzer> <reason>`.
+package main
+
+import (
+	"opendwarfs/internal/lint"
+	"opendwarfs/internal/lint/unit"
+)
+
+func main() {
+	unit.Main(lint.Analyzers()...)
+}

@@ -2,6 +2,13 @@ package faults
 
 import "opendwarfs/internal/obs"
 
+// mInjectedTotal is the one fault-injection series; lblKind carries the
+// Decision flag that fired (obsnames-checked).
+const (
+	mInjectedTotal = "faults_injected_total"
+	lblKind        = "kind"
+)
+
 // Counted wraps an injector so every non-clean verdict bumps a
 // faults_injected_total{kind=…} counter on reg — one per Decision flag:
 // transient, device_down, hang, straggler, power_dropout. Decisions pass
@@ -14,11 +21,11 @@ func Counted(inner Injector, reg *obs.Registry) Injector {
 	}
 	return &counted{
 		inner:     inner,
-		transient: reg.Counter(obs.Name("faults_injected_total", "kind", "transient")),
-		down:      reg.Counter(obs.Name("faults_injected_total", "kind", "device_down")),
-		hang:      reg.Counter(obs.Name("faults_injected_total", "kind", "hang")),
-		straggler: reg.Counter(obs.Name("faults_injected_total", "kind", "straggler")),
-		power:     reg.Counter(obs.Name("faults_injected_total", "kind", "power_dropout")),
+		transient: reg.Counter(obs.Name(mInjectedTotal, lblKind, "transient")),
+		down:      reg.Counter(obs.Name(mInjectedTotal, lblKind, "device_down")),
+		hang:      reg.Counter(obs.Name(mInjectedTotal, lblKind, "hang")),
+		straggler: reg.Counter(obs.Name(mInjectedTotal, lblKind, "straggler")),
+		power:     reg.Counter(obs.Name(mInjectedTotal, lblKind, "power_dropout")),
 	}
 }
 

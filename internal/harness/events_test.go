@@ -226,7 +226,9 @@ func TestRunGridCancellationPartial(t *testing.T) {
 	}
 
 	// (4): all worker and streamer goroutines are gone.
+	//lint:allow detrand test polling deadline, not simulation state
 	deadline := time.Now().Add(5 * time.Second)
+	//lint:allow detrand test polling deadline, not simulation state
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -253,7 +253,7 @@ func RunGrid(ctx context.Context, reg *dwarfs.Registry, spec GridSpec) (*Grid, e
 // called from worker goroutines, serialised by an internal mutex — and
 // renders the legacy spec.Progress lines from those same events.
 func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int, emit func(Event)) (*Grid, error) {
-	started := time.Now()
+	started := now()
 	if len(cells) == 0 {
 		return &Grid{}, ctx.Err()
 	}
@@ -389,7 +389,7 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 
 	runCell := func(i int) (err error) {
 		c := cells[i]
-		cellStart := time.Now()
+		cellStart := now()
 		// Workers run on their own goroutines, where an escaping panic
 		// would abort the process with no chance for the caller to
 		// recover; convert it to a cell error instead.
@@ -414,7 +414,7 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		if spec.Store != nil {
 			key = CellKey(c.bench.Name(), c.size, c.dev.Spec, spec.Options)
 			var m *Measurement
-			decodeStart := time.Now()
+			decodeStart := now()
 			if decodedStore != nil {
 				// Zero-copy hit: the slot cache hands back the shared
 				// decoded cell; only the first reader of a key in the
@@ -431,12 +431,12 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 			// undecodable under the current code: recompute and overwrite
 			// below.
 			if m != nil {
-				mo.decodeNs.Observe(float64(time.Since(decodeStart)))
+				mo.decodeNs.Observe(float64(since(decodeStart)))
 				cspan.SetAttr("outcome", "store_hit")
 				results[i] = m
 				hits.Add(1)
 				ev := cellEvent(EventStoreHit, c)
-				ev.Elapsed = time.Since(cellStart)
+				ev.Elapsed = since(cellStart)
 				ev.Measurement = m
 				send(ev)
 				return nil
@@ -447,9 +447,9 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		if tracer != nil {
 			pctx, pspan = obs.StartSpan(cctx, "harness.prepare")
 		}
-		prepStart := time.Now()
+		prepStart := now()
 		p, err := cache.prepare(pctx, c.bench, c.size, spec.Options)
-		mo.prepareNs.Observe(float64(time.Since(prepStart)))
+		mo.prepareNs.Observe(float64(since(prepStart)))
 		pspan.End()
 		if err != nil {
 			return fmt.Errorf("harness: grid cell %s/%s/%s: %w", c.bench.Name(), c.size, c.dev.ID(), err)
@@ -485,9 +485,9 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 			if dec.Transient {
 				return nil, faults.ErrTransient
 			}
-			measureStart := time.Now()
+			measureStart := now()
 			m, err := p.Measure(actx, c.dev, spec.Options)
-			mo.measureNs.Observe(float64(time.Since(measureStart)))
+			mo.measureNs.Observe(float64(since(measureStart)))
 			if err != nil {
 				return nil, err
 			}
@@ -506,7 +506,7 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 			}
 			failedN.Add(1)
 			ev := cellEvent(EventCellFailed, c)
-			ev.Elapsed = time.Since(cellStart)
+			ev.Elapsed = since(cellStart)
 			ev.Attempt, ev.Reason = attempt, reason
 			send(ev)
 		}
@@ -533,7 +533,7 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 				cspan.SetAttr("outcome", "measured")
 				results[i] = m
 				ev := cellEvent(EventCellDone, c)
-				ev.Elapsed = time.Since(cellStart)
+				ev.Elapsed = since(cellStart)
 				ev.Measurement = m
 				send(ev)
 				return nil
@@ -625,7 +625,7 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		StoreHits:   int(hits.Load()),
 		StoreMisses: int(misses.Load()),
 		Retries:     int(retries.Load()),
-		Elapsed:     time.Since(started),
+		Elapsed:     since(started),
 	}
 	// Failures and quarantines apply to partial (cancelled) grids too:
 	// a cell that failed before the cancellation genuinely failed.

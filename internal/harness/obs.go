@@ -2,6 +2,22 @@ package harness
 
 import "opendwarfs/internal/obs"
 
+// Metric names registered by the harness, one const per series
+// (obsnames-checked: a typo here is one declaration away, not one call
+// site away).
+const (
+	mCellsTotal       = "harness_cells_total"
+	mStoreHitsTotal   = "harness_store_hits_total"
+	mStoreMissesTotal = "harness_store_misses_total"
+	mRetriesTotal     = "harness_retries_total"
+	mFailedCellsTotal = "harness_failed_cells_total"
+	mQuarantinesTotal = "harness_quarantines_total"
+	mCellNs           = "harness_cell_ns"
+	mPrepareNs        = "harness_prepare_ns"
+	mMeasureNs        = "harness_measure_ns"
+	mStoreDecodeNs    = "store_decode_ns"
+)
+
 // gridMetrics caches one run's metric handles so the hot path never
 // resolves names. Built from a nil registry every field is a nil metric
 // whose methods no-op — instrumentation call sites stay unconditional.
@@ -27,15 +43,15 @@ type gridMetrics struct {
 
 func newGridMetrics(r *obs.Registry) gridMetrics {
 	return gridMetrics{
-		cells:       r.Counter("harness_cells_total"),
-		hits:        r.Counter("harness_store_hits_total"),
-		misses:      r.Counter("harness_store_misses_total"),
-		retries:     r.Counter("harness_retries_total"),
-		failed:      r.Counter("harness_failed_cells_total"),
-		quarantines: r.Counter("harness_quarantines_total"),
-		cellNs:      r.Histogram("harness_cell_ns", nil),
-		prepareNs:   r.Histogram("harness_prepare_ns", nil),
-		measureNs:   r.Histogram("harness_measure_ns", nil),
-		decodeNs:    r.Histogram("store_decode_ns", nil),
+		cells:       r.Counter(mCellsTotal),
+		hits:        r.Counter(mStoreHitsTotal),
+		misses:      r.Counter(mStoreMissesTotal),
+		retries:     r.Counter(mRetriesTotal),
+		failed:      r.Counter(mFailedCellsTotal),
+		quarantines: r.Counter(mQuarantinesTotal),
+		cellNs:      r.Histogram(mCellNs, nil),
+		prepareNs:   r.Histogram(mPrepareNs, nil),
+		measureNs:   r.Histogram(mMeasureNs, nil),
+		decodeNs:    r.Histogram(mStoreDecodeNs, nil),
 	}
 }

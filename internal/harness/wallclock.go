@@ -1,0 +1,16 @@
+package harness
+
+import "time"
+
+// now is the harness's single declared wall-clock seam. Event
+// timestamps, Elapsed fields, and the duration histograms are wall-clock
+// by design — they describe this host's run, not the simulated fleet —
+// and routing every read through one annotated declaration keeps the
+// rest of the package mechanically checkable: any other time.Now inside
+// harness is a detrand finding.
+//
+//lint:allow detrand event timestamps and duration metrics are the harness's declared wall-clock seam
+var now = time.Now
+
+// since measures wall-clock elapsed time through the now seam.
+func since(t time.Time) time.Duration { return now().Sub(t) }

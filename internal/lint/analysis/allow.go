@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allow-comment contract (DESIGN.md §12): a finding is suppressed by
+//
+//	//lint:allow <analyzer> <reason>
+//
+// written either at the end of the flagged line or alone on the line
+// directly above it. The reason is mandatory — an allow comment without
+// one is ignored, so every suppression in the tree explains itself. The
+// directive names exactly one analyzer; suppressing two analyzers at one
+// site takes two comments.
+//
+// Suppression is applied centrally by the drivers (unit checker and
+// analysistest), never by analyzers, so the contract cannot drift
+// between checks.
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	line     int    // line the directive suppresses from (its own line)
+	analyzer string // analyzer name it names
+	ownLine  bool   // comment stands alone on its line (suppresses line+1)
+}
+
+// parseAllow parses c as an allow directive, returning ok=false for
+// ordinary comments and for malformed directives (no analyzer, or no
+// reason).
+func parseAllow(text string) (analyzer string, ok bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	fields := strings.Fields(text[len(prefix):])
+	if len(fields) < 2 { // analyzer + at least one word of reason
+		return "", false
+	}
+	return fields[0], true
+}
+
+// allowedLines collects, per file, the set of lines on which findings of
+// the named analyzer are suppressed.
+func allowedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	suppressed := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllow(c.Text)
+				if !ok || name != analyzer {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				m := suppressed[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					suppressed[pos.Filename] = m
+				}
+				// The directive covers its own line (end-of-line form)
+				// and the next line (own-line form). Covering both
+				// unconditionally is harmless: a stand-alone directive
+				// has no finding on its own line, and an end-of-line
+				// directive sits on the flagged line itself.
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return suppressed
+}
+
+// Suppress filters out diagnostics of the named analyzer that are
+// covered by a well-formed //lint:allow comment. Drivers call it once
+// per (analyzer, package).
+func Suppress(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	suppressed := allowedLines(fset, files, analyzer)
+	if len(suppressed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if m := suppressed[pos.Filename]; m != nil && m[pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,94 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis core: just enough Analyzer/Pass/
+// Diagnostic surface for repo-local analyzers to be written in the
+// upstream idiom and driven either by `go vet -vettool` (see
+// internal/lint/unit) or by fixture tests (internal/lint/analysistest).
+//
+// The module is deliberately dependency-free (go.mod has no requires),
+// so vendoring x/tools for four analyzers is off the table; this package
+// keeps the analyzers source-compatible with the upstream API subset
+// they use, so they could be lifted onto the real framework later by
+// changing one import path. Facts, Requires and URL plumbing are
+// omitted — the dwarfvet analyzers are all single-package and
+// fact-free.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name for -vettool flag plumbing and
+// //lint:allow references, documentation, optional flags, and the Run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags
+	// (-NAME, -NAME.flag) and //lint:allow comments. It must be a valid
+	// Go identifier.
+	Name string
+
+	// Doc is the help text; the first line is the summary.
+	Doc string
+
+	// Flags defines analyzer-specific flags, exposed by the driver
+	// as -NAME.flag.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a type-checked package. Diagnostics
+	// are delivered through Pass.Report; the result value is unused by
+	// this mini framework (no inter-analyzer dependencies) but kept for
+	// upstream signature compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	OtherFiles []string
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	Report     func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) String() string { return fmt.Sprintf("%s@%s", p.Analyzer.Name, p.Pkg.Path()) }
+
+// A Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Validate checks analyzer invariants (unique non-empty names, non-nil
+// Run) before a driver accepts them.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analyzer has no name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"opendwarfs/internal/lint/analysistest"
+	"opendwarfs/internal/lint/detrand"
+)
+
+// TestDetrand runs the analyzer over an in-scope fixture (package path
+// "harness" matches the default -pkgs scope) and an out-of-scope twin
+// that must produce no findings.
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), detrand.Analyzer, "harness", "detrand_unscoped")
+}

@@ -1,0 +1,31 @@
+// Package lint aggregates the dwarfvet analyzer suite — the
+// repo-specific static checks that mechanize invariants previously
+// defended by convention and comments (see DESIGN.md §12):
+//
+//	typednil  possibly-nil concrete pointers stored into interfaces
+//	detrand   global rand / unannotated wall-clock in deterministic code
+//	obsnames  const-declared snake_case metric names at obs call sites
+//	locksend  channel sends and callbacks while holding a mutex
+//
+// The suite runs as `go vet -vettool=$(dwarfvet)` in the
+// static-analysis CI job; findings are suppressed only by an explicit
+// `//lint:allow <analyzer> <reason>` comment at the site.
+package lint
+
+import (
+	"opendwarfs/internal/lint/analysis"
+	"opendwarfs/internal/lint/detrand"
+	"opendwarfs/internal/lint/locksend"
+	"opendwarfs/internal/lint/obsnames"
+	"opendwarfs/internal/lint/typednil"
+)
+
+// Analyzers returns the full dwarfvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		typednil.Analyzer,
+		detrand.Analyzer,
+		obsnames.Analyzer,
+		locksend.Analyzer,
+	}
+}

@@ -1,0 +1,16 @@
+package locksend_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"opendwarfs/internal/lint/analysistest"
+	"opendwarfs/internal/lint/locksend"
+)
+
+// TestLocksend runs the analyzer over an in-scope fixture (package path
+// "dwarfserve" matches the default -pkgs scope) and an out-of-scope
+// twin that must produce no findings.
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), locksend.Analyzer, "dwarfserve", "locksend_unscoped")
+}

@@ -1,0 +1,144 @@
+// Package obsnames implements the dwarfvet analyzer guarding the
+// metric-name discipline of the internal/obs registry. The CI
+// counters-vs-events assertions can detect that a counter disagrees
+// with the event stream, but they cannot localize the classic cause: a
+// call site registering under a typo'd name, silently splitting one
+// logical counter into two series. This check pins the name at the
+// source instead.
+//
+// At every call into the obs registry that takes a metric name —
+// Registry.Counter / Gauge / Histogram / CounterValue and the label
+// renderer obs.Name — it requires:
+//
+//   - the metric name (and each label key of obs.Name) is a reference
+//     to a declared named constant, not an inline literal, a
+//     concatenation, or a variable: every series name then has exactly
+//     one declaration to typo, and each call site registers under
+//     exactly one name;
+//   - the constant's value is lowercase snake_case
+//     ([a-z][a-z0-9_]*), the repo's Prometheus naming convention.
+//
+// Label values remain free-form (they are values, not names, and are
+// usually dynamic). Test files are exempt: tests assert on literal
+// names on purpose, and a typo there fails the test itself. The obs
+// package itself is exempt — it implements the registry.
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"opendwarfs/internal/lint/analysis"
+	"opendwarfs/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc: "requires const-declared snake_case metric names at obs registry call sites\n\n" +
+		"Declare each metric name once as a const and pass the const;\n" +
+		"inline literals split counters on a typo with no CI localization.",
+	Run: run,
+}
+
+// nameMethods are the *obs.Registry methods whose first argument is a
+// metric name.
+var nameMethods = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"CounterValue": true,
+}
+
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.IsPkg(pass.Pkg, "obs") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := lintutil.PkgFunc(pass.TypesInfo, call); fn != nil {
+				// obs.Name(base, k1, v1, k2, v2, ...)
+				if fn.Name() == "Name" && lintutil.IsPkg(fn.Pkg(), "obs") {
+					checkName(pass, call)
+				}
+				return true
+			}
+			// Registry methods: resolve the selector to a method of the
+			// obs package.
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			m, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !nameMethods[m.Name()] || !lintutil.IsPkg(m.Pkg(), "obs") {
+				return true
+			}
+			if len(call.Args) >= 1 {
+				checkNameArg(pass, call.Args[0], "metric name")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkName validates an obs.Name(base, kv...) call: const base, const
+// snake label keys.
+func checkName(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	checkNameArg(pass, call.Args[0], "metric name")
+	for i := 1; i < len(call.Args); i += 2 { // kv pairs: keys at odd positions
+		checkNameArg(pass, call.Args[i], "label key")
+	}
+}
+
+// checkNameArg requires arg to be a reference to a declared snake_case
+// string constant. An obs.Name(...) call in metric-name position is
+// validated by its own CallExpr visit, so it passes through here.
+func checkNameArg(pass *analysis.Pass, arg ast.Expr, what string) {
+	arg = ast.Unparen(arg)
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if fn := lintutil.PkgFunc(pass.TypesInfo, call); fn != nil && fn.Name() == "Name" && lintutil.IsPkg(fn.Pkg(), "obs") {
+			return
+		}
+	}
+
+	var obj types.Object
+	switch e := arg.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	cst, isConst := obj.(*types.Const)
+	if !isConst {
+		tv := pass.TypesInfo.Types[arg]
+		if tv.Value != nil {
+			pass.Reportf(arg.Pos(),
+				"%s must be a declared const, not an inline literal: one declaration per series name pins typos at the source", what)
+		} else {
+			pass.Reportf(arg.Pos(),
+				"%s must be a declared const, not computed at the call site: dynamic names split series silently", what)
+		}
+		return
+	}
+	val := cst.Val()
+	if val == nil || val.Kind() != constant.String {
+		return
+	}
+	if s := constant.StringVal(val); !snakeRe.MatchString(s) {
+		pass.Reportf(arg.Pos(), "%s %q is not lowercase snake_case ([a-z][a-z0-9_]*)", what, s)
+	}
+}

@@ -1,0 +1,19 @@
+package obsnames_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"opendwarfs/internal/lint/analysistest"
+	"opendwarfs/internal/lint/obsnames"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), obsnames.Analyzer, "obsnames")
+}
+
+// TestObsPackageExempt runs the analyzer over the obs stand-in itself,
+// which implements the registry and must not be checked.
+func TestObsPackageExempt(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), obsnames.Analyzer, "obs")
+}

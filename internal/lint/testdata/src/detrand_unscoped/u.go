@@ -1,0 +1,14 @@
+// Package detrand_unscoped proves detrand's package scoping: identical
+// code to the flagging fixture, but the package is outside -pkgs, so
+// nothing is reported.
+package detrand_unscoped
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDrawOutsideScope() int64 {
+	_ = time.Now()
+	return rand.Int63()
+}

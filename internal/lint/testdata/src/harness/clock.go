@@ -1,0 +1,43 @@
+// Package harness is a detrand fixture named to fall inside the
+// analyzer's default scope: global math/rand draws and bare wall-clock
+// reads flag; seeded generators and annotated seams do not.
+package harness
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() (int64, float64) {
+	a := rand.Int63()                  // want `use of global rand\.Int63`
+	b := rand.Float64()                // want `use of global rand\.Float64`
+	rand.Shuffle(2, func(i, j int) {}) // want `use of global rand\.Shuffle`
+	return a, b
+}
+
+func wallClock(t0 time.Time) time.Duration {
+	_ = time.Now()        // want `wall-clock read time\.Now`
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+func classicUnseeded() *rand.Rand {
+	// The constructor names are allowed; the wall-clock seed is what
+	// breaks reproducibility, and is what flags.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock read time\.Now`
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // ok: method on a seeded *rand.Rand
+}
+
+func declaredSeam() int64 {
+	//lint:allow detrand event timestamps are a declared wall-clock seam
+	return time.Now().UnixNano()
+}
+
+func typeUseOnly(r *rand.Rand, d time.Duration) *rand.Rand {
+	// Types and methods of the packages are fine; only the global
+	// draws and clock reads are banned.
+	return r
+}

@@ -1,0 +1,17 @@
+// Package locksend_unscoped proves locksend's package scoping:
+// identical shape to the flagging fixture, but outside -pkgs, so
+// nothing is reported.
+package locksend_unscoped
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+func (h *hub) sendOutsideScope(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[0] <- v
+}

@@ -1,0 +1,46 @@
+// Package obs is a fixture stand-in for opendwarfs/internal/obs: just
+// the Registry name-taking surface and Name helper that the obsnames
+// analyzer validates call sites of.
+package obs
+
+// Registry registers and serves metrics by name.
+type Registry struct{}
+
+// Counter returns the counter registered under name.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the histogram registered under name.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// CounterValue reads the current value of a counter.
+func (r *Registry) CounterValue(name string) int64 { return 0 }
+
+// Name composes a metric name with label key/value pairs.
+func Name(base string, kv ...string) string {
+	out := base
+	for _, s := range kv {
+		out += "_" + s
+	}
+	return out
+}
+
+// Counter is a monotonic counter.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Gauge is a settable value.
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Histogram accumulates observations.
+type Histogram struct{ n int64 }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) { h.n++ }

@@ -1,0 +1,46 @@
+// Package obsnames exercises the obsnames analyzer: metric and label
+// names reaching the obs registry must be const-declared
+// lowercase-snake strings, never inline or computed literals.
+package obsnames
+
+import "obs"
+
+const (
+	mCells     = "grid_cells_total"
+	mBadCase   = "Grid_Cells_Total"
+	lblKind    = "kind"
+	vTransient = "transient"
+)
+
+func good(r *obs.Registry) {
+	r.Counter(mCells).Add(1)
+	r.Gauge(mCells).Set(2)
+	r.Histogram(mCells).Observe(0.5)
+	_ = r.CounterValue(mCells)
+	r.Counter(obs.Name(mCells, lblKind, vTransient)).Add(1)
+}
+
+func inlineLiterals(r *obs.Registry) {
+	r.Counter("grid_cells_total").Add(1)                                    // want `metric name must be a declared const`
+	_ = r.CounterValue("grid_cells_total")                                  // want `metric name must be a declared const`
+	r.Counter(obs.Name("faults_injected_total", "kind", vTransient)).Add(1) // want `metric name must be a declared const` `label key must be a declared const`
+}
+
+func computedName(r *obs.Registry, shard string) {
+	r.Gauge(mCells + "_" + shard).Set(1) // want `computed at the call site`
+}
+
+func badShape(r *obs.Registry) {
+	r.Counter(mBadCase).Add(1) // want `is not lowercase snake_case`
+}
+
+func labelValuesFree(r *obs.Registry, state string) {
+	// Label VALUES (even positions after base) may be dynamic; only the
+	// base and the keys are checked.
+	r.Counter(obs.Name(mCells, lblKind, state)).Add(1)
+}
+
+func suppressed(r *obs.Registry, raw string) {
+	//lint:allow obsnames name is relayed verbatim from a trusted config
+	r.Counter(raw).Add(1)
+}

@@ -1,0 +1,46 @@
+// Package sched is a fixture stand-in for opendwarfs/internal/sched:
+// just the Costs / CostProvider / LoopParams surface involved in the
+// PR 7 typed-nil bug, so the typednil fixtures reproduce it verbatim.
+package sched
+
+// Costs resolves per-slot costs; the zero pointer is "no provider".
+type Costs struct {
+	slots map[string]float64
+}
+
+// Cost implements CostProvider.
+func (c *Costs) Cost(task string) float64 { return c.slots[task] }
+
+// CostProvider is the interface seam LoopParams.Truth is typed as.
+type CostProvider interface {
+	Cost(task string) float64
+}
+
+// Schedule is a placed workload.
+type Schedule struct {
+	Makespan float64
+}
+
+// LoopParams configures OnlineLoop. Oracle and Truth are optional and
+// must be set together; Truth is an interface field, so a typed-nil
+// *Costs stored there reads as "set" and fails validation — the PR 7
+// dwarfsched bug.
+type LoopParams struct {
+	Rounds int
+	Oracle *Schedule
+	Truth  CostProvider
+}
+
+// OnlineLoop validates that Oracle and Truth are set together.
+func OnlineLoop(p LoopParams) error {
+	if (p.Truth != nil) != (p.Oracle != nil) {
+		return errOracleTruth
+	}
+	return nil
+}
+
+type loopError string
+
+func (e loopError) Error() string { return string(e) }
+
+const errOracleTruth = loopError("sched: Oracle and Truth must be set together")

@@ -1,0 +1,159 @@
+// Package typednil exercises the flagging and non-flagging shapes of
+// the typednil analyzer: zero-declared pointers sunk into interfaces
+// flag; guards, early exits, unconditional reassignment, fresh
+// pointers and call results do not.
+package typednil
+
+type iface interface{ M() }
+
+type impl struct{ n int }
+
+func (*impl) M() {}
+
+func newImpl() *impl { return &impl{} }
+
+// --- flagging shapes ---
+
+func returnZeroDecl() iface {
+	var p *impl
+	return p // want `possibly-nil \*impl stored in interface iface`
+}
+
+func assignZeroDecl(mk bool) {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	var i iface
+	i = p // want `possibly-nil \*impl stored in interface iface`
+	_ = i
+}
+
+func fieldZeroDecl(mk bool) iface {
+	type holder struct{ i iface }
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	var h holder
+	h.i = p // want `possibly-nil \*impl stored in interface iface`
+	return h.i
+}
+
+func compositeLit(mk bool) interface{} {
+	type holder struct{ i iface }
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	return holder{i: p} // want `possibly-nil \*impl stored in interface iface`
+}
+
+func nilAssigned(q *impl) iface {
+	q = nil
+	return q // want `possibly-nil \*impl stored in interface iface`
+}
+
+func namedResult() iface {
+	p := pointerOrNil()
+	return p // ok: call results are not tracked (too noisy)
+}
+
+func pointerOrNil() (p *impl) {
+	var i iface = p // want `possibly-nil \*impl stored in interface iface`
+	_ = i
+	return p // ok within its own pointer-typed result
+}
+
+func mapAndSlice(mk bool) {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	_ = map[string]iface{"a": p} // want `possibly-nil \*impl stored in interface iface`
+	_ = []iface{p}               // want `possibly-nil \*impl stored in interface iface`
+}
+
+// --- non-flagging shapes ---
+
+func guardedAssign(mk bool) iface {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	var i iface
+	if p != nil {
+		i = p // ok: dominated by the nil check
+	}
+	return i
+}
+
+func guardedConjunct(mk bool, n int) iface {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	if n > 0 && p != nil {
+		return p // ok: conjunct guard
+	}
+	return nil
+}
+
+func earlyExit(mk bool) iface {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	if p == nil {
+		return nil
+	}
+	return p // ok: the == nil branch returned
+}
+
+func reassignedUnconditionally() iface {
+	var p *impl
+	p = &impl{}
+	return p // ok: unconditional non-nil reassignment
+}
+
+func reassignedFromCall() iface {
+	var p *impl
+	p = newImpl()
+	return p // ok: unconditionally reassigned from a named call
+}
+
+func reassignedConditionallyFromCall(mk bool) iface {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	return p // want `possibly-nil \*impl stored in interface iface`
+}
+
+func freshPointer() iface {
+	p := &impl{}
+	return p // ok: never a nil source
+}
+
+func elseBranch(mk bool) iface {
+	var p *impl
+	if mk {
+		p = newImpl()
+	}
+	if p == nil {
+		return nil
+	} else {
+		return p // ok: else of == nil
+	}
+}
+
+func suppressed() iface {
+	var p *impl
+	//lint:allow typednil fixture pins the allow-comment contract
+	return p
+}
+
+func suppressedEOL() iface {
+	var p *impl
+	return p //lint:allow typednil end-of-line form of the contract
+}

@@ -1,0 +1,41 @@
+// Package typednil_pr7 reproduces the PR 7 dwarfsched bug at the
+// analyzer level: `dwarfsched -rounds` without `-oracle` left
+// truthCosts a nil *sched.Costs, and storing it into the CostProvider
+// interface field LoopParams.Truth made `Truth != nil` read true, so
+// OnlineLoop's "Oracle and Truth must be set together" validation
+// failed on every run. The composite-literal shape below is the
+// original call site; the guarded form underneath is the shipped fix.
+package typednil_pr7
+
+import "sched"
+
+// buggy is the pre-fix cmd/dwarfsched/main.go shape.
+func buggy(oracle bool, rounds int) error {
+	var truthCosts *sched.Costs
+	var oracleSchedule *sched.Schedule
+	if oracle {
+		truthCosts = &sched.Costs{}
+		oracleSchedule = &sched.Schedule{}
+	}
+	return sched.OnlineLoop(sched.LoopParams{
+		Rounds: rounds,
+		Oracle: oracleSchedule,
+		Truth:  truthCosts, // want `possibly-nil \*sched\.Costs stored in interface sched\.CostProvider`
+	})
+}
+
+// fixed is the shipped PR 7 fix: Oracle/Truth assigned together only
+// when real.
+func fixed(oracle bool, rounds int) error {
+	var truthCosts *sched.Costs
+	var oracleSchedule *sched.Schedule
+	if oracle {
+		truthCosts = &sched.Costs{}
+		oracleSchedule = &sched.Schedule{}
+	}
+	params := sched.LoopParams{Rounds: rounds}
+	if truthCosts != nil {
+		params.Oracle, params.Truth = oracleSchedule, truthCosts
+	}
+	return sched.OnlineLoop(params)
+}

@@ -1,0 +1,510 @@
+// Package typednil implements the dwarfvet analyzer that mechanizes the
+// repo's most-bitten invariant: never store a possibly-nil concrete
+// pointer in an interface. A typed-nil interface compares non-nil, so
+// optional-capability seams like harness.GridSpec.Store
+// (store.CellStore) or sched.LoopParams.Truth (sched.CostProvider) read
+// as "attached" and dereference nil later — the exact bug that broke
+// `dwarfsched -rounds` without `-oracle` in PR 7, and the hazard that
+// was previously defended by comments at four call sites.
+//
+// The check is deliberately scoped to the provably-dangerous class so a
+// clean run stays meaningful: it flags an interface-typed assignment,
+// struct-literal field, or return whose operand is a pointer variable
+// with a visible nil source — declared `var x *T` with no initializer,
+// explicitly assigned nil, or a named pointer result — and not proven
+// non-nil on the path to the sink by an `if x != nil` guard, an
+// `if x == nil { return/... }` early exit, or an unconditional
+// `x = &T{...}` / `x = f(...)` reassignment earlier in the same block.
+// Pointers
+// freshly returned from calls are not flagged (too noisy); the goal is
+// to catch the zero-value-declared optional-field shape that has
+// actually bitten.
+package typednil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"opendwarfs/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "typednil",
+	Doc: "flags possibly-nil concrete pointers stored into interfaces\n\n" +
+		"A typed-nil interface is != nil, so optional interface fields like\n" +
+		"GridSpec.Store read as attached. Guard the store with `if x != nil`\n" +
+		"or annotate the site: //lint:allow typednil <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{pass: pass, nilSource: make(map[*types.Var]bool)}
+
+	// Package-level `var x *T` declarations are nil sources everywhere.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				c.recordNilDecls(spec.(*ast.ValueSpec))
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		// Package-level `var s I = x` sinks.
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, v := range vs.Values {
+						if i < len(vs.Names) {
+							c.checkSink(c.typeOf(vs.Names[i]), v, &env{})
+						}
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkFunc(fn.Type, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				c.checkFunc(fn.Type, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	nilSource map[*types.Var]bool
+}
+
+// env carries path facts down the statement walk: the set of pointer
+// vars proven non-nil at this point.
+type env struct {
+	parent *env
+	nonnil map[*types.Var]bool
+}
+
+func (e *env) isNonNil(v *types.Var) bool {
+	for ; e != nil; e = e.parent {
+		if e.nonnil[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *env) markNonNil(v *types.Var) {
+	if e.nonnil == nil {
+		e.nonnil = make(map[*types.Var]bool)
+	}
+	e.nonnil[v] = true
+}
+
+func (e *env) child() *env { return &env{parent: e} }
+
+func (c *checker) typeOf(e ast.Expr) types.Type { return c.pass.TypesInfo.TypeOf(e) }
+
+// recordNilDecls marks `var x *T` (no initializer) pointer declarations
+// as nil sources.
+func (c *checker) recordNilDecls(vs *ast.ValueSpec) {
+	if len(vs.Values) != 0 {
+		return
+	}
+	for _, name := range vs.Names {
+		if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				c.nilSource[v] = true
+			}
+		}
+	}
+}
+
+// checkFunc analyzes one function body. Nested function literals are
+// visited by the file-level inspection, not here.
+func (c *checker) checkFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	// Named pointer results and explicit nil assignments are nil
+	// sources; collect them up front (flow-insensitively).
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			for _, name := range field.Names {
+				if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+						c.nilSource[v] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					c.recordNilDecls(spec.(*ast.ValueSpec))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && isNilIdent(rhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+							c.nilSource[v] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Result types come from the field type expressions (a FuncDecl's
+	// FuncType node itself has no entry in the Types map).
+	var results []types.Type
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			t := c.typeOf(field.Type)
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				results = append(results, t)
+			}
+		}
+	}
+	c.walkStmts(body.List, &env{}, results)
+}
+
+// walkStmts processes a statement list in order, threading non-nil
+// facts between siblings (guards and unconditional reassignments).
+func (c *checker) walkStmts(list []ast.Stmt, e *env, results []types.Type) {
+	for _, stmt := range list {
+		c.walkStmt(stmt, e, results)
+	}
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, e *env, results []types.Type) {
+	// Composite-literal sinks can hide anywhere in the statement's own
+	// expressions (including call arguments — the PR 7 shape); scan
+	// them first, then handle the statement-shaped sinks and control
+	// flow. Nested statements re-enter walkStmt with their own env, and
+	// function literals are analyzed as separate functions.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && s != stmt {
+			return false
+		}
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			c.checkCompositeLit(cl, e)
+		}
+		return true
+	})
+
+	switch s := stmt.(type) {
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, e, results)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, v := range vs.Values {
+					if i < len(vs.Names) {
+						c.checkSink(c.typeOf(vs.Names[i]), v, e)
+					}
+				}
+			}
+		}
+
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Rhs {
+				c.checkSink(c.typeOf(s.Lhs[i]), s.Rhs[i], e)
+				// An unconditional non-nil reassignment clears the nil
+				// source for the rest of this block.
+				if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+					if v, ok := c.objOf(id); ok {
+						if definitelyNonNil(s.Rhs[i]) || c.callResult(s.Rhs[i]) {
+							e.markNonNil(v)
+						} else if e.nonnil[v] {
+							delete(e.nonnil, v)
+						}
+					}
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		if len(s.Results) == len(results) {
+			for i, r := range s.Results {
+				c.checkSink(results[i], r, e)
+			}
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, e, results)
+		}
+		pos, neg := guardVars(c.pass.TypesInfo, s.Cond)
+		then := e.child()
+		for _, v := range pos {
+			then.markNonNil(v)
+		}
+		c.walkStmts(s.Body.List, then, results)
+		if s.Else != nil {
+			els := e.child()
+			for _, v := range neg {
+				els.markNonNil(v)
+			}
+			c.walkStmt(s.Else, els, results)
+		}
+		// `if x == nil { return }` proves x non-nil afterwards.
+		if terminates(s.Body) {
+			for _, v := range neg {
+				e.markNonNil(v)
+			}
+		}
+
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, e.child(), results)
+	case *ast.ForStmt:
+		c.walkStmts(s.Body.List, e.child(), results)
+	case *ast.RangeStmt:
+		c.walkStmts(s.Body.List, e.child(), results)
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, e.child(), results)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, e.child(), results)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				c.walkStmts(cc.Body, e.child(), results)
+			}
+		}
+	}
+}
+
+// checkCompositeLit flags interface-typed fields/elements initialized
+// with a possibly-nil pointer.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit, e *env) {
+	t := c.typeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok { // &T{...}
+		t = p.Elem()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					for j := 0; j < u.NumFields(); j++ {
+						if u.Field(j).Name() == id.Name {
+							c.checkSink(u.Field(j).Type(), kv.Value, e)
+							break
+						}
+					}
+				}
+			} else if i < u.NumFields() {
+				c.checkSink(u.Field(i).Type(), elt, e)
+			}
+		}
+	case *types.Map:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				c.checkSink(u.Elem(), kv.Value, e)
+			}
+		}
+	case *types.Slice:
+		for _, elt := range lit.Elts {
+			if _, ok := elt.(*ast.KeyValueExpr); !ok {
+				c.checkSink(u.Elem(), elt, e)
+			}
+		}
+	case *types.Array:
+		for _, elt := range lit.Elts {
+			if _, ok := elt.(*ast.KeyValueExpr); !ok {
+				c.checkSink(u.Elem(), elt, e)
+			}
+		}
+	}
+}
+
+// checkSink reports rhs if it is a possibly-nil pointer variable being
+// stored into an interface-typed sink.
+func (c *checker) checkSink(sinkType types.Type, rhs ast.Expr, e *env) {
+	if sinkType == nil {
+		return
+	}
+	iface, ok := sinkType.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(rhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := c.objOf(id)
+	if !ok || !c.nilSource[v] || e.isNonNil(v) {
+		return
+	}
+	rhsType := c.typeOf(id)
+	if rhsType == nil {
+		return
+	}
+	if _, isPtr := rhsType.Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	_ = iface
+	c.pass.Reportf(rhs.Pos(),
+		"possibly-nil %s stored in interface %s: a typed-nil interface is non-nil, so the sink reads as set; guard with `if %s != nil`",
+		types.TypeString(rhsType, types.RelativeTo(c.pass.Pkg)),
+		types.TypeString(sinkType, types.RelativeTo(c.pass.Pkg)),
+		id.Name)
+}
+
+// callResult reports whether e is a call of a named function or method
+// (not a type conversion). Call results are deliberately untracked as
+// nil sources, so an unconditional reassignment from one clears the
+// var's nil-source fact on this path — flagging `x = f(); i = x` while
+// passing `x := f(); i = x` would be inconsistent.
+func (c *checker) callResult(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	switch c.pass.TypesInfo.Uses[id].(type) {
+	case *types.Func, *types.Builtin:
+		return true // a conversion's Fun resolves to a TypeName instead
+	}
+	return false
+}
+
+func (c *checker) objOf(id *ast.Ident) (*types.Var, bool) {
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := c.pass.TypesInfo.Defs[id].(*types.Var)
+	return v, ok
+}
+
+// guardVars extracts from a condition the pointer vars proven non-nil
+// when it is true (pos: `x != nil` conjuncts) and when it is false
+// (neg: `x == nil` disjuncts).
+func guardVars(info *types.Info, cond ast.Expr) (pos, neg []*types.Var) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			p1, _ := guardVars(info, e.X)
+			p2, _ := guardVars(info, e.Y)
+			return append(p1, p2...), nil
+		case token.LOR:
+			_, n1 := guardVars(info, e.X)
+			_, n2 := guardVars(info, e.Y)
+			return nil, append(n1, n2...)
+		case token.NEQ, token.EQL:
+			var operand ast.Expr
+			if isNilIdent(e.X) {
+				operand = e.Y
+			} else if isNilIdent(e.Y) {
+				operand = e.X
+			} else {
+				return nil, nil
+			}
+			id, ok := ast.Unparen(operand).(*ast.Ident)
+			if !ok {
+				return nil, nil
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return nil, nil
+			}
+			if e.Op == token.NEQ {
+				return []*types.Var{v}, nil
+			}
+			return nil, []*types.Var{v}
+		}
+	}
+	return nil, nil
+}
+
+// terminates reports whether a block always transfers control away:
+// return, branch, panic, or a fatal-style exit.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic" || fun.Name == "fatal"
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				return name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Goexit"
+			}
+		}
+	}
+	return false
+}
+
+// definitelyNonNil reports whether an expression can never evaluate to
+// nil: address-of, new(T), or a composite literal.
+func definitelyNonNil(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new" || id.Name == "make"
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,20 @@
+package typednil_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"opendwarfs/internal/lint/analysistest"
+	"opendwarfs/internal/lint/typednil"
+)
+
+func TestTypednil(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), typednil.Analyzer, "typednil")
+}
+
+// TestPR7 replays the dwarfsched -rounds-without--oracle bug from PR 7:
+// a conditionally-assigned *sched.Costs stored into the CostProvider
+// interface field LoopParams.Truth, which made Truth != nil read true.
+func TestPR7(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), typednil.Analyzer, "typednil_pr7")
+}

@@ -1,0 +1,314 @@
+// Package unit implements the (unpublished but stable) command-line
+// protocol that `go vet -vettool=...` speaks to an external analysis
+// tool, against the mini framework in internal/lint/analysis. It is a
+// dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis/unitchecker contract:
+//
+//	tool -V=full    print a version line for go's build cache
+//	tool -flags     describe accepted flags as JSON
+//	tool foo.cfg    analyze the compilation unit described by foo.cfg
+//
+// For each package, cmd/go writes a JSON config naming the Go files,
+// the import map, and the export-data file of every dependency (already
+// compiled into the build cache); the driver re-typechecks the package
+// against those and runs every analyzer, printing findings to stderr
+// and exiting non-zero, which go vet turns into a failed build.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"opendwarfs/internal/lint/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description that cmd/go
+// hands a vettool (struct vetConfig in cmd/go/internal/work). Fields
+// this driver does not need are kept so the JSON round-trips cleanly.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a dwarfvet-style tool: it parses the
+// protocol flags and either describes itself or analyzes the single
+// compilation unit it was given. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: repo-specific static analysis; run via go vet -vettool=$(which %s)\n\nAnalyzers:\n", progname, progname)
+		for _, a := range analyzers {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, summary)
+		}
+		os.Exit(1)
+	}
+
+	fs.Var(versionFlag{progname: progname}, "V", "print version and exit (go build cache protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+
+	// Per-analyzer enable/disable flags plus the analyzers' own flags,
+	// namespaced NAME.flag — the same surface the upstream multichecker
+	// exposes, so `go vet -vettool=dwarfvet -typednil=false ./...` and
+	// `-detrand.pkgs=...` work.
+	enabled := make(map[string]*string, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.String(a.Name, "", "enable/disable "+a.Name+" analysis (true/false)")
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+
+	_ = fs.Parse(os.Args[1:]) // ExitOnError
+
+	if *printFlags {
+		describeFlags(fs)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+	}
+
+	// Honor -NAME=true/false the way the upstream drivers do: any
+	// explicit true runs only the explicitly-enabled set; otherwise
+	// explicit falses are dropped from the full set.
+	var hasTrue bool
+	for _, v := range enabled {
+		if *v == "true" {
+			hasTrue = true
+		}
+	}
+	var run []*analysis.Analyzer
+	for _, a := range analyzers {
+		switch *enabled[a.Name] {
+		case "true":
+			run = append(run, a)
+		case "false", "":
+			if !hasTrue && *enabled[a.Name] == "" {
+				run = append(run, a)
+			}
+		default:
+			log.Fatalf("invalid -%s value %q (want true or false)", a.Name, *enabled[a.Name])
+		}
+	}
+
+	os.Exit(Run(args[0], run))
+}
+
+// Run analyzes the unit described by the config file and returns the
+// process exit code: 0 clean, 1 findings, fatal on driver errors.
+func Run(configFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The vetx "facts" output participates in go's build caching; these
+	// analyzers are fact-free, so an empty file satisfies the contract.
+	// Writing it first also lets the VetxOnly fast path (dependency
+	// packages analyzed only for facts) skip the typecheck entirely.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pass, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		p := *pass
+		p.Analyzer = a
+		p.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(&p); err != nil {
+			log.Printf("%s: %v", a.Name, err)
+			exit = 1
+			continue
+		}
+		diags = analysis.Suppress(fset, p.Files, a.Name, diags)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, a.Name)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		// cmd/go never vets file-less packages (only unsafe qualifies).
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// typecheck parses and type-checks the unit, resolving imports through
+// the export-data files cmd/go listed in the config — the same
+// machinery the upstream unitchecker uses, via go/importer.
+func typecheck(fset *token.FileSet, cfg *Config) (*analysis.Pass, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Pass{
+		Fset:       fset,
+		Files:      files,
+		OtherFiles: cfg.NonGoFiles,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// describeFlags prints the accepted flags as the JSON array go vet
+// expects from `tool -flags`.
+func describeFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		// -V is registered for the protocol but is not a vet flag users
+		// pass through go vet.
+		if f.Name == "V" {
+			return
+		}
+		b, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, isBool && b.IsBoolFlag(), f.Usage})
+	})
+	sort.Slice(flags, func(i, j int) bool { return flags[i].Name < flags[j].Name })
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements -V=full: cmd/go keys its build cache on the
+// printed line, so it embeds a content hash of the executable — a
+// rebuilt dwarfvet invalidates prior vet results.
+type versionFlag struct{ progname string }
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() interface{} { return nil }
+func (v versionFlag) String() string { return "" }
+func (v versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", v.progname, sha256.Sum256(data))
+	os.Exit(0)
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -273,6 +273,19 @@ type LoopParams struct {
 	Metrics *obs.Registry
 }
 
+// Online-loop metric names, one const per series (obsnames-checked).
+const (
+	mRoundsTotal         = "sched_rounds_total"
+	mReplanNs            = "sched_replan_ns"
+	mReplansTotal        = "sched_replans_total"
+	mSlotsPredictedTotal = "sched_slots_predicted_total"
+	mSlotsMeasuredTotal  = "sched_slots_measured_total"
+	mRepairsTotal        = "sched_repairs_total"
+	mMigratedTasksTotal  = "sched_migrated_tasks_total"
+	mRegretPct           = "sched_regret_pct"
+	mBestRegretPct       = "sched_best_regret_pct"
+)
+
 // OnlineLoop alternates schedule → execute → re-train for the configured
 // number of rounds. Execution flows through the streamer, so with a store
 // attached each round's measured cells persist and the next round's cost
@@ -297,9 +310,10 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 	fleet := append([]*sim.DeviceSpec(nil), p.Fleet...)
 	for r := 0; r < p.Rounds; r++ {
 		rctx, rspan := obs.StartSpan(ctx, "sched.round", obs.Int("round", r))
-		p.Metrics.Counter("sched_rounds_total").Inc()
+		p.Metrics.Counter(mRoundsTotal).Inc()
 		// Replanning = cost re-training + the policy run; both are timed
 		// together since that is the latency a replan costs the loop.
+		//lint:allow detrand replan latency histogram measures this host, not the simulation
 		planStart := time.Now()
 		_, pspan := obs.StartSpan(rctx, "sched.plan")
 		costs := p.Costs
@@ -320,8 +334,9 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 		}
 		s, err := p.Policy.Schedule(p.Workload, fleet, costs, p.Sched)
 		pspan.End()
-		p.Metrics.Histogram("sched_replan_ns", nil).Observe(float64(time.Since(planStart)))
-		p.Metrics.Counter("sched_replans_total").Inc()
+		//lint:allow detrand replan latency histogram measures this host, not the simulation
+		p.Metrics.Histogram(mReplanNs, nil).Observe(float64(time.Since(planStart)))
+		p.Metrics.Counter(mReplansTotal).Inc()
 		if err != nil {
 			rspan.End()
 			return res, fmt.Errorf("sched: round %d: %w", r, err)
@@ -354,10 +369,10 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 		}
 		// Slot-source counters track the schedule in force at round end
 		// (the repaired one after a quarantine), matching Round's report.
-		p.Metrics.Counter("sched_slots_predicted_total").Add(int64(s.Predicted))
-		p.Metrics.Counter("sched_slots_measured_total").Add(int64(s.Measured))
-		p.Metrics.Counter("sched_repairs_total").Add(int64(outc.Repairs))
-		p.Metrics.Counter("sched_migrated_tasks_total").Add(int64(outc.MigratedTasks))
+		p.Metrics.Counter(mSlotsPredictedTotal).Add(int64(s.Predicted))
+		p.Metrics.Counter(mSlotsMeasuredTotal).Add(int64(s.Measured))
+		p.Metrics.Counter(mRepairsTotal).Add(int64(outc.Repairs))
+		p.Metrics.Counter(mMigratedTasksTotal).Add(int64(outc.MigratedTasks))
 		round := Round{
 			Index: r, Schedule: s,
 			Predicted: s.Predicted, Measured: s.Measured,
@@ -378,8 +393,8 @@ func OnlineLoop(ctx context.Context, p LoopParams) (*LoopResult, error) {
 				best = round.RegretPct
 			}
 			round.BestRegretPct = best
-			p.Metrics.Gauge("sched_regret_pct").Set(round.RegretPct)
-			p.Metrics.Gauge("sched_best_regret_pct").Set(best)
+			p.Metrics.Gauge(mRegretPct).Set(round.RegretPct)
+			p.Metrics.Gauge(mBestRegretPct).Set(best)
 		}
 		res.Rounds = append(res.Rounds, round)
 	}

@@ -54,11 +54,18 @@ func Cached(inner CellStore) *CachedStore {
 // — and forwards to the inner store's Instrument when it has one, so one
 // call wires the whole read/write stack. A nil registry de-instruments.
 func (c *CachedStore) Instrument(reg *obs.Registry) {
-	c.mHits = reg.Counter("slotcache_hits_total")
-	c.mMisses = reg.Counter("slotcache_misses_total")
-	c.mEvictions = reg.Counter("slotcache_evictions_total")
+	c.mHits = reg.Counter(mSlotHitsTotal)
+	c.mMisses = reg.Counter(mSlotMissesTotal)
+	c.mEvictions = reg.Counter(mSlotEvictionsTotal)
 	InstrumentStore(c.inner, reg)
 }
+
+// Slot-cache metric names (obsnames-checked).
+const (
+	mSlotHitsTotal      = "slotcache_hits_total"
+	mSlotMissesTotal    = "slotcache_misses_total"
+	mSlotEvictionsTotal = "slotcache_evictions_total"
+)
 
 // Stats returns the cache's hit/miss/eviction counts so far.
 func (c *CachedStore) Stats() CacheStats {

@@ -74,9 +74,15 @@ type Store struct {
 func (s *Store) Instrument(reg *obs.Registry) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	s.appends = reg.Counter("store_appends_total")
-	s.compactions = reg.Counter("store_compactions_total")
+	s.appends = reg.Counter(mAppendsTotal)
+	s.compactions = reg.Counter(mCompactionsTotal)
 }
+
+// Write-path metric names (obsnames-checked).
+const (
+	mAppendsTotal     = "store_appends_total"
+	mCompactionsTotal = "store_compactions_total"
+)
 
 // Open loads (creating if necessary) the store at dir.
 func Open(dir string) (*Store, error) {
