@@ -11,7 +11,7 @@ import (
 
 // TestChaosJobQuarantineFlow drives the server-side fault story end to
 // end: a chaos job drops a device, the job's counters and quarantine list
-// reflect it, healthz reports the quarantined device, and /v1/schedule
+// reflect it, /v1/status reports the quarantined device, and /v1/schedule
 // keeps it out of the fleet — 409 when asked for explicitly, silently
 // excluded from the default fleet.
 func TestChaosJobQuarantineFlow(t *testing.T) {
@@ -37,11 +37,12 @@ func TestChaosJobQuarantineFlow(t *testing.T) {
 		t.Fatalf("job quarantined %v, want [k20m]", status["quarantined"])
 	}
 
-	// The quarantine outlives the job: healthz lists it.
-	health := get(t, srv, "/healthz", http.StatusOK)
-	hq, _ := health["quarantined"].([]any)
+	// The quarantine outlives the job: /v1/status lists it (the /healthz
+	// copy of this field is deprecated — see handleHealth).
+	statusResp := get(t, srv, "/v1/status", http.StatusOK)
+	hq, _ := statusResp["quarantined"].([]any)
 	if len(hq) != 1 || hq[0] != "k20m" {
-		t.Fatalf("healthz quarantined %v, want [k20m]", health["quarantined"])
+		t.Fatalf("/v1/status quarantined %v, want [k20m]", statusResp["quarantined"])
 	}
 
 	// Explicitly scheduling onto the dead device is a conflict.

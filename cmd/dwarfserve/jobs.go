@@ -92,6 +92,10 @@ type job struct {
 	cancel  context.CancelFunc
 	started time.Time
 
+	// span is the job's serve.job trace span (nil without -trace); it
+	// ends when the terminal event lands, so cancelled jobs close too.
+	span *obs.Span
+
 	mu          sync.Mutex
 	state       jobState
 	events      []wireEvent
@@ -253,20 +257,30 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jobCtx, cancel := context.WithCancel(s.jobsCtx)
+	jobID := fmt.Sprintf("job-%06d", s.jobSeq+1)
+	// With -trace, every job runs under a serve.job span carried by its
+	// context, so the harness's grid/cell/measure spans nest beneath it.
+	var span *obs.Span
+	if s.tracer != nil {
+		jobCtx = obs.ContextWithTracer(jobCtx, s.tracer)
+		jobCtx, span = s.tracer.StartSpan(jobCtx, "serve.job", obs.String("job", jobID))
+	}
 	// Stream validates the selection synchronously: unknown benchmarks,
 	// sizes or devices fail here, before a job is registered.
 	events, err := harness.Stream(jobCtx, suite.New(), spec)
 	if err != nil {
 		s.jobMu.Unlock()
+		span.End()
 		cancel()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.jobSeq++
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", s.jobSeq),
+		id:      jobID,
 		req:     req,
 		cancel:  cancel,
+		span:    span,
 		started: time.Now(),
 		state:   jobRunning,
 		notify:  make(chan struct{}),
@@ -335,6 +349,8 @@ func (s *server) runJob(j *job, events <-chan harness.Event) {
 		wev.State = string(state)
 		wev.Error = errMsg
 		j.finish(state, errMsg, wev)
+		j.span.SetAttr("state", string(state))
+		j.span.End()
 		s.metrics.Gauge(mJobsRunning).Add(-1)
 		s.metrics.Counter(obs.Name(mJobsFinishedTotal, lblState, string(state))).Inc()
 	}

@@ -67,6 +67,8 @@ import (
 
 	"opendwarfs/internal/harness"
 	"opendwarfs/internal/obs"
+	"opendwarfs/internal/obs/series"
+	"opendwarfs/internal/obs/slo"
 	"opendwarfs/internal/predict"
 	"opendwarfs/internal/sched"
 	"opendwarfs/internal/sim"
@@ -85,6 +87,10 @@ func main() {
 		seed        = flag.Int64("seed", def.Seed, "training seed for /v1/predict")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+		sampleEvery = flag.Duration("sample-interval", time.Second, "telemetry sampling period for /v1/metrics/history and /v1/metrics/stream")
+		seriesCap   = flag.Int("series-capacity", 600, "telemetry ring capacity in samples (history window = capacity × interval)")
+		alertsPath  = flag.String("alerts", "", "JSON alert-rule file for /v1/alerts (default: built-in rules)")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event file of the server's job spans on shutdown (open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -120,10 +126,34 @@ func main() {
 	if *pprofOn {
 		srv.enablePprof()
 	}
+	rules := defaultAlertRules()
+	if *alertsPath != "" {
+		f, err := os.Open(*alertsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+			os.Exit(1)
+		}
+		rules, err = slo.LoadRules(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+			os.Exit(1)
+		}
+	}
+	if err := srv.initTelemetry(series.Options{Capacity: *seriesCap, Interval: *sampleEvery}, rules); err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+		os.Exit(1)
+	}
+	if *tracePath != "" {
+		srv.tracer = obs.NewTracer()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	samplerCtx, samplerStop := context.WithCancel(context.Background())
+	defer samplerStop()
+	go srv.runSampler(samplerCtx)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	log.Printf("dwarfserve: %d cells from %s (%d shard(s), %d segment files), listening on %s",
@@ -148,9 +178,30 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("dwarfserve: drain: %v", err)
 	}
+	samplerStop()
 	if err := st.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "dwarfserve:", err)
 		os.Exit(1)
+	}
+	// The trace is exported last, after every job span (including
+	// cancelled ones) has ended — shutdownJobs waited for their terminal
+	// events — so the file is always well-formed.
+	if srv.tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+			os.Exit(1)
+		}
+		if err := srv.tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfserve:", err)
+			os.Exit(1)
+		}
+		log.Printf("dwarfserve: Chrome trace (%d spans) written to %s", srv.tracer.Spans(), *tracePath)
 	}
 	log.Printf("dwarfserve: store closed, bye")
 }
@@ -202,6 +253,17 @@ type server struct {
 	// keepAlive is the SSE comment-frame interval (tests shrink it).
 	keepAlive time.Duration
 
+	// Live telemetry (see telemetry.go): the ring-buffer recorder over
+	// this server's registry and the alert engine evaluated on each
+	// sample tick. Assigned by initTelemetry before serving starts,
+	// never re-assigned after.
+	series *series.Recorder
+	alerts *slo.Engine
+
+	// tracer records server-lifetime spans (jobs and their harness
+	// children) when -trace is set; nil otherwise.
+	tracer *obs.Tracer
+
 	// Devices quarantined by job executions (device → reason). /v1/schedule
 	// keeps them out of the default fleet and rejects explicit requests for
 	// them; healthz lists them.
@@ -226,6 +288,9 @@ func newServer(st store.CellStore, cfg predict.Config) (*server, error) {
 	// Instrument before the first read so the startup snapshot's slot-cache
 	// misses (and any store counters) are visible on /metrics.
 	store.InstrumentStore(st, s.metrics)
+	if err := s.initTelemetry(series.Options{}, defaultAlertRules()); err != nil {
+		return nil, err
+	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	if err := s.reloadFromStore(); err != nil {
 		return nil, err
@@ -234,6 +299,9 @@ func newServer(st store.CellStore, cfg predict.Config) (*server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)
+	s.mux.HandleFunc("GET /v1/metrics/stream", s.handleMetricsStream)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("GET /v1/predict", s.handlePredict)
@@ -384,9 +452,10 @@ func (s *server) quarantinedDevices() []string {
 // cell/segment/schema/job counters that used to live here moved to
 // /v1/status.
 //
-// Deprecated: the `quarantined` field is kept for pre-/v1/status clients
-// (the chaos tooling greps it); new callers should read it from
-// /v1/status instead.
+// Deprecated: the `quarantined` field is kept only for pre-/v1/status
+// clients and will be removed once none remain; every in-repo consumer
+// (the chaos CI gate, chaos_test.go) now reads it from /v1/status, and
+// new callers must too (see README "Deprecations").
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"status": "ok"}
 	if quar := s.quarantinedDevices(); len(quar) > 0 {

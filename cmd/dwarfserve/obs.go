@@ -138,8 +138,17 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.jobMu.Unlock()
 
 	version, goVersion, revision := buildVersion()
+	// Health rollup: "ok" unless an alert rule is firing. The firing rule
+	// names ride along so a dashboard needn't join against /v1/alerts.
+	firing := s.alerts.Firing()
+	health := "ok"
+	if len(firing) > 0 {
+		health = "degraded"
+	}
 	resp := map[string]any{
 		"status":          "ok",
+		"health":          health,
+		"alerts_firing":   len(firing),
 		"version":         version,
 		"go_version":      goVersion,
 		"vcs_revision":    revision,
@@ -151,6 +160,9 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"jobs_by_state":   byState,
 		"jobs_running":    byState[string(jobRunning)],
 		"sse_subscribers": int(s.metrics.Gauge(mSSESubscribers).Value()),
+	}
+	if len(firing) > 0 {
+		resp["alerts"] = firing
 	}
 	if quar := s.quarantinedDevices(); len(quar) > 0 {
 		resp["quarantined"] = quar

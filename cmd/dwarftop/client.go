@@ -1,0 +1,330 @@
+package main
+
+// The streaming client half of dwarftop: an SSE reader over
+// /v1/metrics/stream and an accumulator that folds its snapshot+delta
+// protocol back into absolute values. The accumulator is the same
+// contract the CI reconciliation gate asserts: after any sample frame,
+// its counters equal the server registry's at that sample boundary,
+// exactly — including across a dropped connection resumed with
+// Last-Event-ID (replayed deltas) or outrun entirely (a fresh snapshot
+// frame resets the state).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"opendwarfs/internal/obs/series"
+)
+
+// accumulator reconstructs absolute metric state from stream frames.
+type accumulator struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	deltas   map[string]int64 // last sample frame's counter movement
+	lastSeq  uint64
+	lastNs   int64
+	prevNs   int64
+	samples  int // delta frames folded
+	resyncs  int // snapshot frames after the first
+}
+
+func newAccumulator() *accumulator {
+	return &accumulator{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		deltas:   map[string]int64{},
+	}
+}
+
+// fold applies one stream frame. Returns true when the frame was a
+// sample (delta) frame — the boundary at which the accumulator is
+// exactly reconciled with the server registry.
+func (a *accumulator) fold(p series.Point) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p.Snapshot {
+		if a.lastSeq != 0 || len(a.counters) > 0 {
+			a.resyncs++
+		}
+		a.counters = map[string]int64{}
+		a.deltas = map[string]int64{}
+		for k, v := range p.Counters {
+			a.counters[k] = v
+		}
+		a.gauges = map[string]float64{}
+		for k, v := range p.Gauges {
+			a.gauges[k] = v
+		}
+		a.lastSeq, a.lastNs, a.prevNs = p.Seq, p.UnixNs, 0
+		return false
+	}
+	a.deltas = map[string]int64{}
+	for k, v := range p.Counters {
+		a.counters[k] += v
+		a.deltas[k] = v
+	}
+	for k, v := range p.Gauges {
+		a.gauges[k] = v
+	}
+	a.prevNs, a.lastNs = a.lastNs, p.UnixNs
+	a.lastSeq = p.Seq
+	a.samples++
+	return true
+}
+
+// moved reports whether the last folded sample carried any counter
+// movement — the quiet detector behind -reconcile.
+func (a *accumulator) moved() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, d := range a.deltas {
+		if d != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// countersCopy returns the reconciled absolute counters.
+func (a *accumulator) countersCopy() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.counters))
+	for k, v := range a.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// labelValue extracts one label's value from a rendered metric name
+// like `harness_device_cells_total{device="gtx1080"}`.
+func labelValue(name, label string) string {
+	i := strings.Index(name, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := name[i+len(label)+2:]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return ""
+}
+
+// baseName strips the label block from a rendered metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// lane is one device row of the top display.
+type lane struct {
+	device  string
+	total   int64
+	perSec  float64
+	quar    bool
+	elapsed bool // perSec is meaningful (a sample interval existed)
+}
+
+// topState is one render's worth of display data, assembled under the
+// accumulator lock plus the poll results.
+type topState struct {
+	seq            uint64
+	samples        int
+	resyncs        int
+	reconnects     int
+	lanes          []lane
+	storeHitPct    float64
+	storeTotal     int64
+	slotHitPct     float64
+	slotTotal      int64
+	jobsRunning    float64
+	sseSubscribers float64
+	alertsFiring   float64
+	firing         []string
+	quarantined    []string
+	health         string
+}
+
+// buildState derives the display model from the accumulator and the
+// latest /v1/alerts + /v1/status poll.
+func (a *accumulator) buildState(reconnects int, firing, quarantined []string, health string) topState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := topState{
+		seq:         a.lastSeq,
+		samples:     a.samples,
+		resyncs:     a.resyncs,
+		reconnects:  reconnects,
+		firing:      firing,
+		quarantined: quarantined,
+		health:      health,
+	}
+	quar := map[string]bool{}
+	for _, d := range quarantined {
+		quar[d] = true
+	}
+	dt := float64(a.lastNs-a.prevNs) / 1e9
+	for name, total := range a.counters {
+		if baseName(name) != "harness_device_cells_total" {
+			continue
+		}
+		dev := labelValue(name, "device")
+		if dev == "" {
+			continue
+		}
+		l := lane{device: dev, total: total, quar: quar[dev]}
+		if dt > 0 && a.prevNs > 0 {
+			l.perSec = float64(a.deltas[name]) / dt
+			l.elapsed = true
+		}
+		st.lanes = append(st.lanes, l)
+	}
+	sort.Slice(st.lanes, func(i, j int) bool { return st.lanes[i].device < st.lanes[j].device })
+
+	hitRate := func(hits, misses int64) (float64, int64) {
+		total := hits + misses
+		if total == 0 {
+			return 0, 0
+		}
+		return 100 * float64(hits) / float64(total), total
+	}
+	st.storeHitPct, st.storeTotal = hitRate(a.counters["harness_store_hits_total"], a.counters["harness_store_misses_total"])
+	st.slotHitPct, st.slotTotal = hitRate(a.counters["slotcache_hits_total"], a.counters["slotcache_misses_total"])
+	st.jobsRunning = a.gauges["jobs_running"]
+	st.sseSubscribers = a.gauges["sse_subscribers"]
+	st.alertsFiring = a.gauges["alerts_firing"]
+	return st
+}
+
+// render writes one top-style frame. clear prepends the ANSI
+// clear-screen sequence (off under -once and in tests).
+func render(w io.Writer, st topState, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+	health := st.health
+	if health == "" {
+		health = "unknown"
+	}
+	fmt.Fprintf(w, "dwarftop — seq %d, %d samples (%d resync, %d reconnect) — health: %s\n",
+		st.seq, st.samples, st.resyncs, st.reconnects, health)
+	fmt.Fprintf(w, "jobs running %.0f   sse subscribers %.0f   alerts firing %.0f\n",
+		st.jobsRunning, st.sseSubscribers, st.alertsFiring)
+	if st.storeTotal > 0 {
+		fmt.Fprintf(w, "store hit rate %.1f%% of %d   ", st.storeHitPct, st.storeTotal)
+	}
+	if st.slotTotal > 0 {
+		fmt.Fprintf(w, "slotcache hit rate %.1f%% of %d", st.slotHitPct, st.slotTotal)
+	}
+	if st.storeTotal > 0 || st.slotTotal > 0 {
+		fmt.Fprintln(w)
+	}
+	if len(st.lanes) > 0 {
+		fmt.Fprintf(w, "\n%-16s %10s %10s %s\n", "DEVICE", "CELLS", "CELLS/S", "STATE")
+		for _, l := range st.lanes {
+			state := "up"
+			if l.quar {
+				state = "QUARANTINED"
+			}
+			rate := "-"
+			if l.elapsed {
+				rate = strconv.FormatFloat(l.perSec, 'f', 2, 64)
+			}
+			fmt.Fprintf(w, "%-16s %10d %10s %s\n", l.device, l.total, rate, state)
+		}
+	}
+	if len(st.firing) > 0 {
+		fmt.Fprintf(w, "\nFIRING: %s\n", strings.Join(st.firing, ", "))
+	}
+	if len(st.quarantined) > 0 {
+		fmt.Fprintf(w, "quarantined devices: %s\n", strings.Join(st.quarantined, ", "))
+	}
+}
+
+// readSSE consumes one SSE connection: comment frames are dropped,
+// id/event/data fields are collected per frame, and each data frame is
+// decoded as a series.Point and handed to onFrame. onFrame returning
+// false closes the connection deliberately (readSSE returns nil); an
+// io error returns it (the caller reconnects).
+func readSSE(r io.Reader, onFrame func(event string, p series.Point) bool) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	event := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, ":"), line == "":
+			// comment / frame separator
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var p series.Point
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+				return fmt.Errorf("bad stream frame: %w", err)
+			}
+			if !onFrame(event, p) {
+				return nil
+			}
+		}
+	}
+	return scanner.Err()
+}
+
+// promCounters parses the counter samples out of a Prometheus text
+// exposition — the scrape side of -reconcile.
+func promCounters(text string) (map[string]int64, error) {
+	counters := map[string]int64{}
+	typ := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if f := strings.Fields(rest); len(f) == 2 {
+				typ[f[0]] = f[1]
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		if typ[baseName(name)] != "counter" {
+			continue
+		}
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable counter line %q: %w", line, err)
+		}
+		counters[name] = int64(n)
+	}
+	return counters, nil
+}
+
+// reconcile compares the accumulator against a scrape, returning the
+// mismatches (empty = exact agreement).
+func reconcile(acc, scrape map[string]int64) []string {
+	var bad []string
+	for name, want := range scrape {
+		if got := acc[name]; got != want {
+			bad = append(bad, fmt.Sprintf("%s: streamed %d, scraped %d", name, got, want))
+		}
+	}
+	for name, got := range acc {
+		if _, ok := scrape[name]; !ok && got != 0 {
+			bad = append(bad, fmt.Sprintf("%s: streamed %d, missing from scrape", name, got))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}

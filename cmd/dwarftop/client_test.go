@@ -1,0 +1,410 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"opendwarfs/internal/obs/series"
+)
+
+// --- accumulator ---
+
+func snapPoint(seq uint64, ns int64, counters map[string]int64, gauges map[string]float64) series.Point {
+	return series.Point{Seq: seq, UnixNs: ns, Snapshot: true, Counters: counters, Gauges: gauges}
+}
+
+func deltaPoint(seq uint64, ns int64, counters map[string]int64, gauges map[string]float64) series.Point {
+	return series.Point{Seq: seq, UnixNs: ns, Counters: counters, Gauges: gauges}
+}
+
+func TestAccumulatorFold(t *testing.T) {
+	a := newAccumulator()
+	base := int64(1_700_000_000_000_000_000)
+	if isSample := a.fold(snapPoint(3, base, map[string]int64{"x_total": 5}, map[string]float64{"g": 2})); isSample {
+		t.Fatal("snapshot frame reported as sample")
+	}
+	if a.resyncs != 0 {
+		t.Fatalf("first snapshot counted as resync: %d", a.resyncs)
+	}
+	if !a.fold(deltaPoint(4, base+1e9, map[string]int64{"x_total": 3, "y_total": 1}, map[string]float64{"g": 7})) {
+		t.Fatal("delta frame not reported as sample")
+	}
+	got := a.countersCopy()
+	if got["x_total"] != 8 || got["y_total"] != 1 {
+		t.Fatalf("fold mismatch: %v", got)
+	}
+	if !a.moved() {
+		t.Fatal("busy sample not detected as movement")
+	}
+	a.fold(deltaPoint(5, base+2e9, nil, nil))
+	if a.moved() {
+		t.Fatal("quiet sample detected as movement")
+	}
+	if a.samples != 2 {
+		t.Fatalf("samples = %d, want 2", a.samples)
+	}
+
+	// A later snapshot resets state and counts as a resync.
+	a.fold(snapPoint(40, base+60e9, map[string]int64{"x_total": 100}, nil))
+	if a.resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", a.resyncs)
+	}
+	got = a.countersCopy()
+	if got["x_total"] != 100 || got["y_total"] != 0 {
+		t.Fatalf("post-resync state: %v", got)
+	}
+	if a.lastSeq != 40 {
+		t.Fatalf("lastSeq = %d, want 40", a.lastSeq)
+	}
+}
+
+// --- name helpers / prom parsing / reconcile ---
+
+func TestNameHelpers(t *testing.T) {
+	name := `harness_device_cells_total{device="gtx1080",zone="a"}`
+	if got := labelValue(name, "device"); got != "gtx1080" {
+		t.Fatalf("labelValue device = %q", got)
+	}
+	if got := labelValue(name, "zone"); got != "a" {
+		t.Fatalf("labelValue zone = %q", got)
+	}
+	if got := labelValue(name, "missing"); got != "" {
+		t.Fatalf("labelValue missing = %q", got)
+	}
+	if got := baseName(name); got != "harness_device_cells_total" {
+		t.Fatalf("baseName = %q", got)
+	}
+	if got := baseName("plain_total"); got != "plain_total" {
+		t.Fatalf("baseName plain = %q", got)
+	}
+}
+
+func TestPromCounters(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP a_total things",
+		"# TYPE a_total counter",
+		`a_total{k="v"} 7`,
+		"a_total 3",
+		"# TYPE g gauge",
+		"g 9",
+		"# TYPE h histogram",
+		"h_count 4",
+		"",
+	}, "\n")
+	got, err := promCounters(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{`a_total{k="v"}`: 7, "a_total": 3}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	if _, err := promCounters("# TYPE bad counter\nbad nonsense\n"); err == nil {
+		t.Fatal("unparseable counter value not rejected")
+	}
+}
+
+func TestReconcile(t *testing.T) {
+	acc := map[string]int64{"a": 1, "b": 2, "zero": 0}
+	scrape := map[string]int64{"a": 1, "b": 2}
+	if bad := reconcile(acc, scrape); len(bad) != 0 {
+		t.Fatalf("exact agreement flagged: %v", bad)
+	}
+	acc["b"] = 3
+	acc["extra"] = 5
+	scrape["missing"] = 9
+	bad := reconcile(acc, scrape)
+	if len(bad) != 3 {
+		t.Fatalf("want 3 mismatches, got %v", bad)
+	}
+	joined := strings.Join(bad, "\n")
+	for _, frag := range []string{"b: streamed 3, scraped 2", "extra: streamed 5, missing from scrape", "missing: streamed 0, scraped 9"} {
+		if !strings.Contains(joined, frag) {
+			t.Fatalf("mismatch list %v missing %q", bad, frag)
+		}
+	}
+}
+
+// --- SSE reader ---
+
+func TestReadSSE(t *testing.T) {
+	var frames []series.Point
+	var events []string
+	input := strings.Join([]string{
+		": keep-alive",
+		"id: 1",
+		"event: snapshot",
+		`data: {"seq":1,"unix_ns":100,"snapshot":true,"counters":{"x":5}}`,
+		"",
+		": keep-alive",
+		"id: 2",
+		"event: sample",
+		`data: {"seq":2,"unix_ns":200,"counters":{"x":3}}`,
+		"",
+	}, "\n")
+	err := readSSE(strings.NewReader(input), func(event string, p series.Point) bool {
+		events = append(events, event)
+		frames = append(frames, p)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || !frames[0].Snapshot || frames[1].Counters["x"] != 3 {
+		t.Fatalf("frames = %+v", frames)
+	}
+	if events[0] != "snapshot" || events[1] != "sample" {
+		t.Fatalf("events = %v", events)
+	}
+
+	// onFrame returning false is a deliberate close, not an error.
+	err = readSSE(strings.NewReader(input), func(string, series.Point) bool { return false })
+	if err != nil {
+		t.Fatalf("deliberate close returned error: %v", err)
+	}
+
+	// Malformed JSON is an error.
+	if err := readSSE(strings.NewReader("data: {nope\n\n"), func(string, series.Point) bool { return true }); err == nil {
+		t.Fatal("malformed frame not rejected")
+	}
+}
+
+// --- render ---
+
+func TestRender(t *testing.T) {
+	st := topState{
+		seq: 9, samples: 8, resyncs: 1, reconnects: 2,
+		lanes: []lane{
+			{device: "gtx1080", total: 40, perSec: 4.5, elapsed: true},
+			{device: "k20m", total: 10, quar: true},
+		},
+		storeHitPct: 50, storeTotal: 20,
+		slotHitPct: 75, slotTotal: 8,
+		jobsRunning: 1, sseSubscribers: 2, alertsFiring: 1,
+		firing:      []string{"failed_cells_burn"},
+		quarantined: []string{"k20m"},
+		health:      "degraded",
+	}
+	var buf bytes.Buffer
+	render(&buf, st, false)
+	out := buf.String()
+	for _, frag := range []string{
+		"seq 9, 8 samples (1 resync, 2 reconnect)",
+		"health: degraded",
+		"jobs running 1   sse subscribers 2   alerts firing 1",
+		"store hit rate 50.0% of 20",
+		"slotcache hit rate 75.0% of 8",
+		"gtx1080", "4.50", "QUARANTINED",
+		"FIRING: failed_cells_burn",
+		"quarantined devices: k20m",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Fatal("clear=false still emitted the clear sequence")
+	}
+	buf.Reset()
+	render(&buf, st, true)
+	if !strings.HasPrefix(buf.String(), "\x1b[2J\x1b[H") {
+		t.Fatal("clear=true did not emit the clear sequence")
+	}
+}
+
+// --- buildState ---
+
+func TestBuildState(t *testing.T) {
+	a := newAccumulator()
+	base := int64(1_700_000_000_000_000_000)
+	a.fold(snapPoint(1, base, map[string]int64{
+		`harness_device_cells_total{device="gtx1080"}`: 10,
+		"harness_store_hits_total":                     3,
+		"harness_store_misses_total":                   1,
+	}, nil))
+	a.fold(deltaPoint(2, base+2e9, map[string]int64{
+		`harness_device_cells_total{device="gtx1080"}`: 6,
+	}, map[string]float64{"jobs_running": 1}))
+	st := a.buildState(0, nil, []string{"k20m"}, "ok")
+	if len(st.lanes) != 1 {
+		t.Fatalf("lanes = %+v", st.lanes)
+	}
+	l := st.lanes[0]
+	if l.device != "gtx1080" || l.total != 16 || !l.elapsed || l.perSec != 3 || l.quar {
+		t.Fatalf("lane = %+v", l)
+	}
+	if st.storeHitPct != 75 || st.storeTotal != 4 {
+		t.Fatalf("store hit rate %v of %d", st.storeHitPct, st.storeTotal)
+	}
+	if st.jobsRunning != 1 {
+		t.Fatalf("jobsRunning = %v", st.jobsRunning)
+	}
+}
+
+// --- run() end-to-end against a synthetic server ---
+
+// fakeServe is a minimal stand-in for dwarfserve's stream + scrape
+// surface: a fixed frame script replayed per connection (honouring
+// Last-Event-ID), then held open, plus a /metrics scrape body.
+type fakeServe struct {
+	frames  []series.Point // frames[0] is the snapshot
+	scrape  string
+	streams chan struct{} // one token per stream connection served
+}
+
+func (f *fakeServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/metrics/stream", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "no flush", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		select {
+		case f.streams <- struct{}{}:
+		default:
+		}
+		start := 0
+		if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+			after, err := strconv.ParseUint(lid, 10, 64)
+			if err != nil {
+				http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+				return
+			}
+			// Resume: replay only the delta frames after the given seq.
+			start = len(f.frames)
+			for i, p := range f.frames {
+				if p.Seq > after {
+					start = i
+					break
+				}
+			}
+		}
+		for _, p := range f.frames[start:] {
+			event := "sample"
+			if p.Snapshot {
+				event = "snapshot"
+			}
+			b, _ := json.Marshal(p)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", p.Seq, event, b)
+			fl.Flush()
+		}
+		<-r.Context().Done() // hold the stream open like the real server
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, f.scrape)
+	})
+	mux.HandleFunc("GET /v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"alerts":[],"firing":["test_rule"]}`)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"health":"ok","quarantined":[]}`)
+	})
+	return mux
+}
+
+// script: snapshot at 5, a busy delta (+3), then two quiet samples.
+func reconcileScript() *fakeServe {
+	base := int64(1_700_000_000_000_000_000)
+	return &fakeServe{
+		frames: []series.Point{
+			snapPoint(1, base, map[string]int64{"a_total": 5}, map[string]float64{"jobs_running": 0}),
+			deltaPoint(2, base+1e9, map[string]int64{"a_total": 3}, nil),
+			deltaPoint(3, base+2e9, nil, nil),
+			deltaPoint(4, base+3e9, nil, nil),
+		},
+		scrape:  "# TYPE a_total counter\na_total 8\n",
+		streams: make(chan struct{}, 16),
+	}
+}
+
+func TestRunReconcileOK(t *testing.T) {
+	fs := reconcileScript()
+	ts := httptest.NewServer(fs.handler())
+	defer ts.CloseClientConnections()
+	defer ts.Close()
+	var out bytes.Buffer
+	if code := run(ts.URL, time.Second, false, 2, 0, 10*time.Second, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "RECONCILE OK") {
+		t.Fatalf("missing verdict line:\n%s", out.String())
+	}
+}
+
+func TestRunReconcileResume(t *testing.T) {
+	fs := reconcileScript()
+	ts := httptest.NewServer(fs.handler())
+	defer ts.CloseClientConnections()
+	defer ts.Close()
+	var out bytes.Buffer
+	// Drop after 2 frames (snapshot + busy delta); the reconnect must
+	// resume with Last-Event-ID and replay the two quiet samples.
+	if code := run(ts.URL, time.Second, false, 2, 2, 10*time.Second, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "RECONCILE OK") {
+		t.Fatalf("missing verdict line:\n%s", out.String())
+	}
+	if got := len(fs.streams); got < 2 {
+		t.Fatalf("resume path served %d stream connections, want >= 2", got)
+	}
+	if !strings.Contains(out.String(), "1 reconnects") {
+		t.Fatalf("verdict did not report the reconnect:\n%s", out.String())
+	}
+}
+
+func TestRunReconcileMismatch(t *testing.T) {
+	fs := reconcileScript()
+	fs.scrape = "# TYPE a_total counter\na_total 9\n" // off by one
+	ts := httptest.NewServer(fs.handler())
+	defer ts.CloseClientConnections()
+	defer ts.Close()
+	var out bytes.Buffer
+	if code := run(ts.URL, time.Second, false, 2, 0, 10*time.Second, &out); code != 1 {
+		t.Fatalf("exit %d for a mismatched scrape, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "RECONCILE FAIL") || !strings.Contains(out.String(), "a_total: streamed 8, scraped 9") {
+		t.Fatalf("mismatch detail missing:\n%s", out.String())
+	}
+}
+
+func TestRunOnce(t *testing.T) {
+	fs := reconcileScript()
+	ts := httptest.NewServer(fs.handler())
+	defer ts.CloseClientConnections()
+	defer ts.Close()
+	var out bytes.Buffer
+	if code := run(ts.URL, time.Second, true, 0, 0, 10*time.Second, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	// -once polls the sidebands: the firing alert should show up.
+	if !strings.Contains(out.String(), "FIRING: test_rule") {
+		t.Fatalf("once render missing alert sideband:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "\x1b[2J") {
+		t.Fatalf("once render cleared the screen:\n%s", out.String())
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	// No server at all: run must give up at the deadline with exit 1.
+	var out bytes.Buffer
+	if code := run("http://127.0.0.1:1", 10*time.Millisecond, false, 2, 0, 300*time.Millisecond, &out); code != 1 {
+		t.Fatalf("exit %d for an unreachable server", code)
+	}
+}

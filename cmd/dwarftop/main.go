@@ -1,0 +1,270 @@
+// Command dwarftop is a top-style terminal view of a running dwarfserve:
+// it subscribes to GET /v1/metrics/stream (the snapshot+delta SSE feed),
+// folds the deltas into absolute state, and renders per-device lane
+// throughput, store and slot-cache hit rates, job and SSE gauges,
+// quarantined devices, and firing alerts, refreshing in place:
+//
+//	dwarftop -url http://localhost:7077
+//
+// A dropped connection reconnects automatically with Last-Event-ID, so
+// the accumulator replays exactly the samples it missed (or resets from
+// a fresh snapshot when it was gone longer than the server's ring
+// retains — the "resync" count in the header).
+//
+// Beyond the interactive mode, two flags make dwarftop the CI assertion
+// vehicle for the stream's reconciliation contract:
+//
+//	-reconcile N   consume the stream until counters are quiet for N
+//	               consecutive samples (after at least one busy one),
+//	               then scrape GET /metrics and compare every counter
+//	               against the state accumulated at that quiet sample
+//	               boundary; exit 0 on exact agreement, 1 with a
+//	               per-counter diff otherwise. The stream stays open
+//	               across the scrape — an in-flight request is not yet
+//	               in http_requests_total, so the boundary holds.
+//	-resume-after N  deliberately drop the connection after N frames and
+//	               reconnect with Last-Event-ID, so the comparison also
+//	               covers the resume path.
+//
+// -once renders a single frame (no screen clearing) and exits — a
+// scriptable spot check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"opendwarfs/internal/obs/series"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://localhost:7077", "dwarfserve base URL")
+		interval    = flag.Duration("interval", time.Second, "render refresh period")
+		once        = flag.Bool("once", false, "render one frame and exit")
+		reconcileN  = flag.Int("reconcile", 0, "exit after counters are quiet this many consecutive samples, comparing the accumulated stream against GET /metrics (0 = interactive)")
+		resumeAfter = flag.Int("resume-after", 0, "drop the stream after this many frames and reconnect with Last-Event-ID (0 = never; exercises the resume path)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "overall deadline in -reconcile/-once mode")
+	)
+	flag.Parse()
+	os.Exit(run(*url, *interval, *once, *reconcileN, *resumeAfter, *timeout, os.Stdout))
+}
+
+// poller fetches the alert and quarantine sidebands. In -reconcile mode
+// it is disabled: its requests would bump http_requests_total between
+// samples and the counters would never look quiet.
+type poller struct {
+	base    string
+	enabled bool
+}
+
+func (p *poller) fetch() (firing, quarantined []string, health string) {
+	if !p.enabled {
+		return nil, nil, ""
+	}
+	var alerts struct {
+		Firing []string `json:"firing"`
+	}
+	if body, err := httpGet(p.base + "/v1/alerts"); err == nil {
+		_ = json.Unmarshal(body, &alerts)
+	}
+	var status struct {
+		Health      string   `json:"health"`
+		Quarantined []string `json:"quarantined"`
+	}
+	if body, err := httpGet(p.base + "/v1/status"); err == nil {
+		_ = json.Unmarshal(body, &status)
+	}
+	return alerts.Firing, status.Quarantined, status.Health
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// verdict is what the frame handler posts when a terminal condition is
+// reached: the counters snapshotted at the deciding sample boundary.
+type verdict struct {
+	counters map[string]int64
+}
+
+// run is the whole client lifecycle; factored from main so tests drive
+// it against a synthetic server and inspect the exit code.
+func run(base string, interval time.Duration, once bool, reconcileN, resumeAfter int, timeout time.Duration, out io.Writer) int {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // tears the stream connection down on exit
+	acc := newAccumulator()
+	var (
+		mu         sync.Mutex
+		reconnects int
+		frames     int
+		dropped    bool // the deliberate -resume-after drop happened
+		quiet      int  // consecutive no-movement samples
+		busySeen   bool // at least one sample moved (arms the quiet counter)
+	)
+	deadline := time.Now().Add(timeout)
+	settled := make(chan verdict, 1)
+	failed := make(chan int, 1)
+
+	// onFrame folds every stream frame. It returns false only for the
+	// deliberate -resume-after drop; a verdict leaves the stream OPEN so
+	// the in-flight request stays uncounted while the caller scrapes.
+	onFrame := func(event string, p series.Point) bool {
+		isSample := acc.fold(p)
+		mu.Lock()
+		defer mu.Unlock()
+		frames++
+		if isSample && reconcileN > 0 {
+			if acc.moved() {
+				busySeen, quiet = true, 0
+			} else if busySeen {
+				quiet++
+				if quiet >= reconcileN {
+					select {
+					case settled <- verdict{counters: acc.countersCopy()}:
+					default:
+					}
+				}
+			}
+		}
+		if once && isSample {
+			select {
+			case settled <- verdict{}:
+			default:
+			}
+		}
+		if resumeAfter > 0 && !dropped && frames >= resumeAfter {
+			dropped = true
+			return false
+		}
+		return true
+	}
+
+	// Stream loop: connect, consume, reconnect with Last-Event-ID.
+	go func() {
+		for ctx.Err() == nil {
+			req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/metrics/stream", nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dwarftop:", err)
+				failed <- 1
+				return
+			}
+			acc.mu.Lock()
+			last := acc.lastSeq
+			acc.mu.Unlock()
+			if last > 0 {
+				req.Header.Set("Last-Event-ID", strconv.FormatUint(last, 10))
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				if resp != nil {
+					resp.Body.Close()
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if time.Now().After(deadline) {
+					fmt.Fprintf(os.Stderr, "dwarftop: no stream from %s within %s (%v)\n", base, timeout, err)
+					failed <- 1
+					return
+				}
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
+			err = readSSE(resp.Body, onFrame)
+			resp.Body.Close()
+			if ctx.Err() != nil {
+				return
+			}
+			if err != nil && time.Now().After(deadline) {
+				fmt.Fprintln(os.Stderr, "dwarftop: stream error:", err)
+				failed <- 1
+				return
+			}
+			mu.Lock()
+			reconnects++
+			mu.Unlock()
+		}
+	}()
+
+	pol := &poller{base: base, enabled: reconcileN == 0}
+	if reconcileN > 0 || once {
+		var v verdict
+		select {
+		case v = <-settled:
+		case code := <-failed:
+			return code
+		case <-time.After(time.Until(deadline)):
+			fmt.Fprintf(os.Stderr, "dwarftop: deadline (%s) before the stream settled\n", timeout)
+			return 1
+		}
+		if once {
+			firing, quarantined, health := pol.fetch()
+			mu.Lock()
+			rc := reconnects
+			mu.Unlock()
+			render(out, acc.buildState(rc, firing, quarantined, health), false)
+			return 0
+		}
+		// Reconcile: scrape while the stream is still open, compare the
+		// quiet-boundary snapshot against the scrape, exactly.
+		body, err := httpGet(base + "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarftop:", err)
+			return 1
+		}
+		scrape, err := promCounters(string(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarftop:", err)
+			return 1
+		}
+		mu.Lock()
+		rc := reconnects
+		mu.Unlock()
+		acc.mu.Lock()
+		samples, resyncs := acc.samples, acc.resyncs
+		acc.mu.Unlock()
+		if bad := reconcile(v.counters, scrape); len(bad) > 0 {
+			fmt.Fprintf(out, "RECONCILE FAIL (%d counters, %d reconnects, %d resyncs):\n", len(bad), rc, resyncs)
+			for _, line := range bad {
+				fmt.Fprintln(out, "  ", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(out, "RECONCILE OK: %d samples, %d counters agree exactly (%d reconnects, %d resyncs)\n",
+			samples, len(v.counters), rc, resyncs)
+		return 0
+	}
+
+	// Interactive top mode: render on the interval until the stream fails.
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case code := <-failed:
+			return code
+		case <-tick.C:
+			firing, quarantined, health := pol.fetch()
+			mu.Lock()
+			rc := reconnects
+			mu.Unlock()
+			render(out, acc.buildState(rc, firing, quarantined, health), true)
+		}
+	}
+}

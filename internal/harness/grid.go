@@ -333,12 +333,14 @@ func runGrid(ctx context.Context, spec GridSpec, cells []gridCell, nDevices int,
 		switch ev.Kind {
 		case EventCellDone:
 			mo.cells.Inc()
+			mo.deviceCells(ev.Device)
 			if spec.Store != nil {
 				mo.misses.Inc()
 			}
 			mo.cellNs.Observe(float64(ev.Elapsed))
 		case EventStoreHit:
 			mo.cells.Inc()
+			mo.deviceCells(ev.Device)
 			mo.hits.Inc()
 			mo.cellNs.Observe(float64(ev.Elapsed))
 		case EventCellRetry:

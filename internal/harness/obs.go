@@ -12,6 +12,8 @@ const (
 	mRetriesTotal     = "harness_retries_total"
 	mFailedCellsTotal = "harness_failed_cells_total"
 	mQuarantinesTotal = "harness_quarantines_total"
+	mDeviceCellsTotal = "harness_device_cells_total"
+	lblDevice         = "device"
 	mCellNs           = "harness_cell_ns"
 	mPrepareNs        = "harness_prepare_ns"
 	mMeasureNs        = "harness_measure_ns"
@@ -35,6 +37,12 @@ type gridMetrics struct {
 	failed      *obs.Counter // harness_failed_cells_total
 	quarantines *obs.Counter // harness_quarantines_total
 
+	// reg resolves the device-labelled completion counter
+	// (harness_device_cells_total{device=...}) per completed cell — once
+	// per cell, not per sample, so the label set stays bounded by the
+	// fleet. Nil when the grid is uninstrumented.
+	reg *obs.Registry
+
 	cellNs    *obs.Histogram // harness_cell_ns: wall-clock per completed cell
 	prepareNs *obs.Histogram // harness_prepare_ns: Prepare incl. cache hits
 	measureNs *obs.Histogram // harness_measure_ns: one Measure attempt
@@ -43,6 +51,7 @@ type gridMetrics struct {
 
 func newGridMetrics(r *obs.Registry) gridMetrics {
 	return gridMetrics{
+		reg:         r,
 		cells:       r.Counter(mCellsTotal),
 		hits:        r.Counter(mStoreHitsTotal),
 		misses:      r.Counter(mStoreMissesTotal),
@@ -54,4 +63,13 @@ func newGridMetrics(r *obs.Registry) gridMetrics {
 		measureNs:   r.Histogram(mMeasureNs, nil),
 		decodeNs:    r.Histogram(mStoreDecodeNs, nil),
 	}
+}
+
+// deviceCells bumps the per-device completion counter — the lane
+// throughput series dwarftop renders. No-op when uninstrumented.
+func (m *gridMetrics) deviceCells(device string) {
+	if m.reg == nil || device == "" {
+		return
+	}
+	m.reg.Counter(obs.Name(mDeviceCellsTotal, lblDevice, device)).Inc()
 }

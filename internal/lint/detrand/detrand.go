@@ -34,8 +34,12 @@ import (
 // DefaultScope is the comma-separated package scope: the packages whose
 // outputs must be bitwise-deterministic — prediction, scheduling,
 // simulation, fault injection, the store, the harness, and the dataset
-// generators (data, dwarfs) they all consume.
-const DefaultScope = "predict,sched,sim,faults,store,harness,data,dwarfs"
+// generators (data, dwarfs) they all consume. The telemetry layer is
+// in scope too: the series recorder's sole wall-clock read is an
+// annotated injection seam (fake clocks everywhere in tests), and the
+// slo engine is clock-free by construction (timestamps arrive as Eval
+// arguments) — the check keeps both that way.
+const DefaultScope = "predict,sched,sim,faults,store,harness,data,dwarfs,series,slo"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",

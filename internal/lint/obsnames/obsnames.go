@@ -18,10 +18,21 @@
 //   - the constant's value is lowercase snake_case
 //     ([a-z][a-z0-9_]*), the repo's Prometheus naming convention.
 //
+// The same discipline covers alert-rule names: the first argument of
+// slo.Threshold / slo.BurnRate must be a const snake_case rule name.
+// Rule names are the join key between -alerts JSON, /v1/alerts output,
+// and dashboard assertions — an inline literal typo'd in one place
+// splits that identity exactly like a typo'd metric name splits a
+// series. The metric argument of the constructors is NOT checked: it
+// may legitimately carry a rendered label block
+// ("http_requests_total{code=\"500\"}").
+//
 // Label values remain free-form (they are values, not names, and are
 // usually dynamic). Test files are exempt: tests assert on literal
-// names on purpose, and a typo there fails the test itself. The obs
-// package itself is exempt — it implements the registry.
+// names on purpose, and a typo there fails the test itself. The obs,
+// slo, and series packages themselves are exempt — they implement the
+// registry, the rule engine, and the sampler, and the latter two
+// iterate names the registry reports rather than declaring their own.
 package obsnames
 
 import (
@@ -51,10 +62,20 @@ var nameMethods = map[string]bool{
 	"CounterValue": true,
 }
 
+// sloConstructors are the package-level slo rule constructors whose
+// first argument is an alert-rule name.
+var sloConstructors = map[string]bool{
+	"Threshold": true,
+	"BurnRate":  true,
+}
+
 var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if lintutil.IsPkg(pass.Pkg, "obs") {
+	// The obs layer itself is exempt: obs implements the registry, slo
+	// the rule engine, and series the sampler — the latter two iterate
+	// names the registry reports, which are dynamic by design.
+	if lintutil.IsPkg(pass.Pkg, "obs") || lintutil.IsPkg(pass.Pkg, "slo") || lintutil.IsPkg(pass.Pkg, "series") {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -70,6 +91,11 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				// obs.Name(base, k1, v1, k2, v2, ...)
 				if fn.Name() == "Name" && lintutil.IsPkg(fn.Pkg(), "obs") {
 					checkName(pass, call)
+				}
+				// slo.Threshold(name, ...) / slo.BurnRate(name, ...): the
+				// rule name only — the metric argument may carry labels.
+				if sloConstructors[fn.Name()] && lintutil.IsPkg(fn.Pkg(), "slo") && len(call.Args) >= 1 {
+					checkNameArg(pass, call.Args[0], "alert rule name")
 				}
 				return true
 			}

@@ -12,8 +12,9 @@ func TestObsnames(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata"), obsnames.Analyzer, "obsnames")
 }
 
-// TestObsPackageExempt runs the analyzer over the obs stand-in itself,
-// which implements the registry and must not be checked.
+// TestObsPackageExempt runs the analyzer over the obs and slo
+// stand-ins themselves, which implement the registry and the rule
+// engine and must not be checked.
 func TestObsPackageExempt(t *testing.T) {
-	analysistest.Run(t, filepath.Join("..", "testdata"), obsnames.Analyzer, "obs")
+	analysistest.Run(t, filepath.Join("..", "testdata"), obsnames.Analyzer, "obs", "slo")
 }

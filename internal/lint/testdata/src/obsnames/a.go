@@ -3,13 +3,19 @@
 // lowercase-snake strings, never inline or computed literals.
 package obsnames
 
-import "obs"
+import (
+	"obs"
+	"slo"
+)
 
 const (
 	mCells     = "grid_cells_total"
 	mBadCase   = "Grid_Cells_Total"
 	lblKind    = "kind"
 	vTransient = "transient"
+
+	ruleBurn    = "failed_cells_burn"
+	ruleBadCase = "Failed-Cells-Burn"
 )
 
 func good(r *obs.Registry) {
@@ -43,4 +49,20 @@ func labelValuesFree(r *obs.Registry, state string) {
 func suppressed(r *obs.Registry, raw string) {
 	//lint:allow obsnames name is relayed verbatim from a trusted config
 	r.Counter(raw).Add(1)
+}
+
+func alertRules() []slo.Rule {
+	return []slo.Rule{
+		// Rule names follow the metric-name discipline: const,
+		// snake_case. The METRIC argument is deliberately unchecked — it
+		// may carry a rendered label block.
+		slo.Threshold(ruleBurn, `http_requests_total{code="500"}`, slo.OpGT, 1, 10),
+		slo.BurnRate(ruleBurn, "harness_failed_cells_total", 0.5, 30),
+		slo.Threshold("jobs_backlogged", "jobs_running", slo.OpGT, 8, 10), // want `alert rule name must be a declared const`
+		slo.BurnRate(ruleBadCase, "harness_failed_cells_total", 0.5, 30),  // want `alert rule name "Failed-Cells-Burn" is not lowercase snake_case`
+	}
+}
+
+func dynamicRuleName(prefix string) slo.Rule {
+	return slo.BurnRate(prefix+"_burn", "harness_failed_cells_total", 0.5, 30) // want `computed at the call site`
 }

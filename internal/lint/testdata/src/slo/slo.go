@@ -1,0 +1,28 @@
+// Package slo is a fixture stand-in for opendwarfs/internal/obs/slo:
+// just the rule-constructor surface whose first argument the obsnames
+// analyzer validates.
+package slo
+
+// Op is a threshold comparison.
+type Op string
+
+// OpGT is the > comparison.
+const OpGT Op = "gt"
+
+// Rule is one declarative alert rule.
+type Rule struct {
+	Name   string
+	Metric string
+}
+
+// Threshold declares a rule firing when a metric's latest value holds
+// past a threshold.
+func Threshold(name, metric string, op Op, value float64, sustainSec float64) Rule {
+	return Rule{Name: name, Metric: metric}
+}
+
+// BurnRate declares a rule firing when a counter's windowed rate
+// exceeds a budget.
+func BurnRate(name, metric string, ratePerSec float64, windowSec float64) Rule {
+	return Rule{Name: name, Metric: metric}
+}

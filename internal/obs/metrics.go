@@ -123,6 +123,37 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Bounds returns a copy of the bucket upper bounds (nil on nil).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// NumBuckets returns the number of count slots, including the final
+// +Inf bucket (zero on nil).
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.counts)
+}
+
+// AppendCounts appends the current per-bucket counts (last slot +Inf)
+// to dst and returns it — allocation-free when dst has the capacity.
+// Each bucket read is atomic; the set as a whole is not a consistent
+// cut, exactly like Snapshot.
+func (h *Histogram) AppendCounts(dst []int64) []int64 {
+	if h == nil {
+		return dst
+	}
+	for i := range h.counts {
+		dst = append(dst, h.counts[i].Load())
+	}
+	return dst
+}
+
 // Count returns the number of observations (zero on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -296,6 +327,43 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// NumMetrics returns how many counters, gauges and histograms are
+// registered — a cheap change detector for pollers (the series recorder
+// re-enumerates names only when a count moves). Zero on nil.
+func (r *Registry) NumMetrics() (counters, gauges, hists int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters), len(r.gauges), len(r.hists)
+}
+
+// MetricNames returns the registered counter, gauge and histogram
+// names, each slice sorted — the enumeration half of the polling
+// protocol (resolve each name to its handle once, then read the handles
+// lock-free). Nil slices on a nil registry.
+func (r *Registry) MetricNames() (counters, gauges, hists []string) {
+	if r == nil {
+		return nil, nil, nil
+	}
+	r.mu.Lock()
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return counters, gauges, hists
 }
 
 // CounterValue returns the named counter's value, zero if it was never

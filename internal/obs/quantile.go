@@ -1,0 +1,70 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-th quantile (q in [0,1], clamped) of the
+// snapshot's observations by log-bucket interpolation: the target rank
+// q·Count is located in the cumulative bucket counts and the value is
+// interpolated geometrically between the bucket's lower and upper
+// bounds — the right interpolation for the registry's log-spaced
+// buckets, where a bucket spans a constant *ratio*, not a constant
+// width.
+//
+// Boundary behaviour is exact by construction: a rank that lands
+// precisely on a bucket's cumulative edge returns that bucket's upper
+// bound verbatim (no floating-point round trip), q=0 returns the lower
+// edge of the first occupied bucket, and q=1 the upper bound of the
+// last. Ranks falling in the +Inf bucket return the largest finite
+// bound — there is no upper edge to interpolate toward. An empty
+// snapshot returns NaN.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < target {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// +Inf bucket: no finite upper edge.
+			if len(h.Bounds) == 0 {
+				return math.Inf(1)
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		hi := h.Bounds[i]
+		frac := (target - prev) / float64(n)
+		if frac >= 1 {
+			return hi
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		if frac <= 0 {
+			if lo > 0 {
+				return lo
+			}
+			return 0
+		}
+		if lo <= 0 {
+			// First bucket has no positive lower edge; fall back to
+			// linear interpolation from zero.
+			return hi * frac
+		}
+		return lo * math.Pow(hi/lo, frac)
+	}
+	// Unreachable while Count agrees with Counts; be safe anyway.
+	if len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}

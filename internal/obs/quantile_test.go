@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// snap builds a snapshot from live observations through the real
+// Observe path, so the tests inherit its inclusive-upper-bound bucket
+// assignment rather than assuming it.
+func snap(t *testing.T, bounds []float64, obsv ...float64) HistogramSnapshot {
+	t.Helper()
+	r := NewRegistry()
+	h := r.Histogram("q_ns", bounds)
+	for _, v := range obsv {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(s.Histograms))
+	}
+	return s.Histograms[0]
+}
+
+// TestQuantileExactBoundaries pins the contract the series layer leans
+// on: ranks landing exactly on a bucket's cumulative edge return that
+// bucket's bound with no floating-point drift.
+func TestQuantileExactBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 5, 10}
+	// One observation per bucket, each exactly on its upper bound
+	// (Observe's bounds are inclusive), cumulative edges at 1/4, 2/4, 3/4, 4/4.
+	h := snap(t, bounds, 1, 2, 5, 10)
+	for i, q := range []float64{0.25, 0.5, 0.75, 1} {
+		if got := h.Quantile(q); got != bounds[i] {
+			t.Errorf("Quantile(%g) = %v, want exactly %v", q, got, bounds[i])
+		}
+	}
+	// q=0 is the lower edge of the first occupied bucket; with the first
+	// bucket occupied and no positive lower bound, that edge is 0.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	// With the first occupied bucket further up, q=0 returns its lower
+	// bound exactly.
+	h = snap(t, bounds, 5, 10)
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) with first occupied bucket (2,5] = %v, want 2", got)
+	}
+}
+
+func TestQuantileLogInterpolation(t *testing.T) {
+	// 10 observations all in the (2,5] bucket: the median interpolates
+	// geometrically to 2·(5/2)^0.5 = sqrt(10).
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 3
+	}
+	h := snap(t, []float64{1, 2, 5, 10}, vals...)
+	want := 2 * math.Pow(2.5, 0.5)
+	if got := h.Quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	// Monotone in q within the bucket.
+	if !(h.Quantile(0.2) < h.Quantile(0.5) && h.Quantile(0.5) < h.Quantile(0.9)) {
+		t.Errorf("quantiles not monotone: %v %v %v",
+			h.Quantile(0.2), h.Quantile(0.5), h.Quantile(0.9))
+	}
+	// The bucket's edges bound every interior quantile.
+	if q := h.Quantile(0.01); q < 2 || q > 5 {
+		t.Errorf("Quantile(0.01) = %v outside (2,5]", q)
+	}
+}
+
+func TestQuantileFirstBucketLinear(t *testing.T) {
+	// All mass in the first bucket: no positive lower edge, so the
+	// estimate interpolates linearly from zero.
+	h := snap(t, []float64{10, 20}, 4, 4, 4, 4)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 10·0.5 = 5", got)
+	}
+}
+
+func TestQuantileInfBucket(t *testing.T) {
+	// Observations beyond the last bound land in +Inf; quantiles there
+	// report the largest finite bound.
+	h := snap(t, []float64{1, 2}, 100, 200, 300)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile in +Inf bucket = %v, want last bound 2", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %v, want NaN", got)
+	}
+	h := snap(t, []float64{1, 2, 5}, 1.5)
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) is not NaN")
+	}
+	// Out-of-range q clamps.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, want)
+	}
+}
+
+func TestRegistryEnumeration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total")
+	r.Counter("a_total")
+	r.Gauge("g")
+	h := r.Histogram("h_ns", []float64{1, 10})
+	h.Observe(5)
+	h.Observe(100)
+
+	c, g, hn := r.NumMetrics()
+	if c != 2 || g != 1 || hn != 1 {
+		t.Fatalf("NumMetrics = %d/%d/%d, want 2/1/1", c, g, hn)
+	}
+	cn, gn, hh := r.MetricNames()
+	if len(cn) != 2 || cn[0] != "a_total" || cn[1] != "b_total" {
+		t.Fatalf("counter names %v, want sorted [a_total b_total]", cn)
+	}
+	if len(gn) != 1 || gn[0] != "g" || len(hh) != 1 || hh[0] != "h_ns" {
+		t.Fatalf("gauge/hist names %v / %v", gn, hh)
+	}
+
+	if nb := h.NumBuckets(); nb != 3 {
+		t.Fatalf("NumBuckets = %d, want 3 (2 bounds + Inf)", nb)
+	}
+	counts := h.AppendCounts(make([]int64, 0, 3))
+	if len(counts) != 3 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("AppendCounts = %v, want [0 1 1]", counts)
+	}
+	if b := h.Bounds(); len(b) != 2 || b[0] != 1 || b[1] != 10 {
+		t.Fatalf("Bounds = %v", b)
+	}
+
+	// All accessors are nil-tolerant.
+	var nr *Registry
+	if c, g, hn := nr.NumMetrics(); c+g+hn != 0 {
+		t.Fatal("nil registry NumMetrics nonzero")
+	}
+	cn, gn, hh = nr.MetricNames()
+	if cn != nil || gn != nil || hh != nil {
+		t.Fatal("nil registry MetricNames non-nil")
+	}
+	var nh *Histogram
+	if nh.NumBuckets() != 0 || nh.Bounds() != nil || len(nh.AppendCounts(nil)) != 0 {
+		t.Fatal("nil histogram accessors not inert")
+	}
+}
